@@ -1,0 +1,80 @@
+"""EXP-RHO — the (rho, tau) envelope over the strategy gallery (Def. 3.1).
+
+Scale note: this bench uses a = 0.1 (twice the default iteration length) so
+the epidemic completes with margin even under 2/3-duty blackouts — at small
+a, a ~50% duty blanket can park the noise estimate exactly on the R·p/2
+threshold while dissemination is still in flight, a finite-scale artifact of
+the "sufficiently large a" the paper assumes.
+
+Claim: resource competitiveness quantifies over *arbitrary* oblivious
+strategies: max_u cost(u) <= rho(T(pi)) + tau for every execution pi.
+
+Regenerated as: every gallery strategy at a common budget against
+``MultiCast``; tau is measured on the jam-free run; the envelope check is
+that every strategy's extra cost stays a small fraction of her actual spend
+(and the broadcast always completes).  This is the closest executable
+statement of Definition 3.1 the simulation allows.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro import (
+    BlanketJammer,
+    FractionalJammer,
+    FrontLoadedJammer,
+    MultiCast,
+    PeriodicBurstJammer,
+    RandomJammer,
+    SweepJammer,
+    run_broadcast,
+)
+from repro.analysis import render_table
+
+N = 64
+T = 2_000_000
+
+GALLERY = {
+    "blanket 90% rnd": lambda seed: BlanketJammer(T, channels=0.9, placement="random", seed=seed),
+    "blanket all": lambda seed: BlanketJammer(T, channels=1.0, seed=seed),
+    "fractional 80/90": lambda seed: FractionalJammer(T, 0.8, 0.9, seed=seed),
+    "front-loaded": lambda seed: FrontLoadedJammer(T),
+    "bursts 60/90": lambda seed: PeriodicBurstJammer(T, period=90, burst=60, channels=1.0, seed=seed),
+    "sweep w=24": lambda seed: SweepJammer(T, width=24, seed=seed),
+    "random p=.8": lambda seed: RandomJammer(T, 0.8, seed=seed),
+}
+
+
+def experiment():
+    tau_run = run_broadcast(MultiCast(N, a=0.1), N, seed=31)
+    tau = tau_run.max_cost
+    rows = [["(none)", "yes", tau_run.slots, 0, tau, 0, float("nan")]]
+    out = []
+    for name, make in GALLERY.items():
+        r = run_broadcast(MultiCast(N, a=0.1), N, adversary=make(97), seed=31)
+        extra = r.max_cost - tau
+        ratio = extra / r.adversary_spend if r.adversary_spend else float("nan")
+        rows.append(
+            [name, "yes" if r.success else "NO", r.slots, r.adversary_spend, r.max_cost, extra, ratio]
+        )
+        out.append((name, r, extra, ratio))
+    print()
+    print(
+        render_table(
+            ["strategy", "ok", "slots", "T(pi)", "max cost", "extra (rho)", "extra/T"],
+            rows,
+            title=f"EXP-RHO  Definition 3.1 envelope, MultiCast n={N}, budget {T:,}",
+        )
+    )
+    return out
+
+
+@pytest.mark.benchmark(group="EXP-RHO")
+def test_envelope_over_gallery(benchmark):
+    out = run_once(benchmark, experiment)
+    for name, r, extra, ratio in out:
+        assert r.success, name
+        # rho(T)/T small uniformly over the gallery: Eve never gets even a
+        # 5% exchange rate on her energy
+        if r.adversary_spend > 0:
+            assert extra <= 0.05 * r.adversary_spend, (name, extra, r.adversary_spend)

@@ -1,0 +1,83 @@
+"""EXP-ENG — simulator throughput (engineering baseline, not a paper claim).
+
+Timed kernels, with pytest-benchmark doing real statistical rounds here
+(they are microseconds-to-milliseconds, unlike the experiment benches):
+
+* dense block resolution (the Figs. 1/2/5 hot path);
+* sparse block resolution at 2^26 channels (the Fig. 4 hot path);
+* a full MultiCast broadcast end to end (slots/second figure of merit).
+"""
+
+import numpy as np
+import pytest
+
+from repro import MultiCast, run_broadcast
+from repro.core.runner import shared_coin_actions, spread_block
+from repro.sim.channel import resolve_block
+from repro.sim.jam import JamBlock
+from repro.sim.rng import RandomFabric
+
+
+def make_case(K, n, C, p, seed=0):
+    rng = RandomFabric(seed).generator("bench")
+    channels = rng.integers(0, C, size=(K, n), dtype=np.int64)
+    coins = rng.random((K, n))
+    informed = rng.random(n) < 0.5
+    informed[0] = True
+    actions = shared_coin_actions(p)(coins, informed, np.ones(n, dtype=bool))
+    return channels, actions
+
+
+@pytest.mark.benchmark(group="EXP-ENG dense")
+@pytest.mark.parametrize("n", [64, 256])
+def test_dense_resolution_throughput(benchmark, n):
+    K, C = 4096, n // 2
+    channels, actions = make_case(K, n, C, p=1 / 64)
+    jam = JamBlock.from_dense(
+        RandomFabric(1).generator("jam").random((K, C)) < 0.3
+    )
+    result = benchmark(lambda: resolve_block(channels, actions, jam))
+    assert result.shape == (K, n)
+
+
+@pytest.mark.benchmark(group="EXP-ENG sparse")
+def test_sparse_resolution_huge_channel_space(benchmark):
+    K, n, C = 4096, 64, 1 << 26
+    channels, actions = make_case(K, n, C, p=1 / 8)
+    jam = JamBlock.from_rows(
+        K, C, np.arange(0, K, 7, dtype=np.int64),
+        [np.arange(50, dtype=np.int64)] * len(range(0, K, 7)),
+    )
+    result = benchmark(lambda: resolve_block(channels, actions, jam))
+    assert result.shape == (K, n)
+
+
+@pytest.mark.benchmark(group="EXP-ENG spread")
+def test_spread_block_event_loop(benchmark):
+    """The event-driven spreading path with a growing informed set."""
+    K, n, C = 2048, 128, 64
+    rng = RandomFabric(2).generator("spread")
+
+    def run():
+        channels = rng.integers(0, C, size=(K, n), dtype=np.int64)
+        coins = rng.random((K, n))
+        informed = np.zeros(n, dtype=bool)
+        informed[0] = True
+        return spread_block(
+            channels, coins, JamBlock.empty(K, C), informed,
+            np.ones(n, dtype=bool), shared_coin_actions(1 / 64),
+        )
+
+    out = benchmark(run)
+    assert out.informed.shape == (n,)
+
+
+@pytest.mark.benchmark(group="EXP-ENG end-to-end")
+def test_full_broadcast_slots_per_second(benchmark):
+    def run():
+        return run_broadcast(MultiCast(64, a=0.05), 64, seed=3)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.success
+    # figure of merit for the README: ~44k slots per run
+    print(f"\n  [EXP-ENG] end-to-end run = {result.slots:,} slots")

@@ -1,0 +1,59 @@
+"""EXP-FAST — MultiCastCore's fast shutdown once Eve stops (section 4 remark).
+
+Claim: "once Eve stops disrupting protocol execution, all remaining active
+nodes will learn m (if still uninformed) and then halt, within one iteration
+— that is, within Theta(lg T-hat) slots.  Existing resource-competitive
+algorithms usually demand at least ~T slots for such scenario."
+
+Regenerated as: a front-loaded jammer blacks out the spectrum until broke at
+several budgets; we measure the gap between blackout end and the last node's
+halt, in iterations, and contrast with ``MultiCast`` (growing iterations =
+slower reaction, the paper's own comparison point).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro import FrontLoadedJammer, MultiCast, MultiCastCore, run_broadcast
+from repro.analysis import render_table
+
+N = 64
+BUDGETS = [320_000, 1_280_000, 5_120_000]
+
+
+def experiment():
+    rows = []
+    out = []
+    for T in BUDGETS:
+        proto = MultiCastCore(n=N, T=T, a=8192.0)
+        r = run_broadcast(proto, N, adversary=FrontLoadedJammer(budget=T), seed=5)
+        assert r.success
+        blackout = T // (N // 2)  # Eve jams all n/2 channels until broke
+        R = proto.iteration_slots
+        gap_core = r.last_halt_slot - blackout
+        rm = run_broadcast(MultiCast(N, a=0.05), N, adversary=FrontLoadedJammer(budget=T), seed=5)
+        assert rm.success
+        gap_mc = rm.last_halt_slot - blackout
+        rows.append([T, blackout, R, gap_core, round(gap_core / R, 2), gap_mc])
+        out.append((gap_core, R, gap_mc))
+    print()
+    print(
+        render_table(
+            ["T", "blackout slots", "iter R", "Core gap", "gap/R", "MultiCast gap"],
+            rows,
+            title="EXP-FAST  slots from Eve-goes-broke to last halt",
+        )
+    )
+    return out
+
+
+@pytest.mark.benchmark(group="EXP-FAST")
+def test_fast_shutdown_after_blackout(benchmark):
+    out = run_once(benchmark, experiment)
+    for gap_core, R, gap_mc in out:
+        # Theta(lg T-hat): within two iteration lengths of the blackout end
+        # (the blackout can end mid-iteration, costing up to one extra R).
+        assert gap_core <= 2 * R + 1
+    # the growing-iteration protocol reacts slower at the largest budget
+    gap_core_big, R_big, gap_mc_big = out[-1]
+    assert gap_mc_big > gap_core_big

@@ -1,0 +1,90 @@
+"""EXP-T7.2 — MultiCastAdv(C): the cut-off variant (Theorem 7.2).
+
+Claim: with C channels, all nodes receive the message and terminate within
+Õ(T/C^{1−2α} + n^{2+2α}/C^{2−2α}) slots at cost Õ(√(T/C^{1−2α}) + ...) — Eve
+must now only beat the j = lg C phases, so both terms degrade as C shrinks,
+but correctness and competitiveness survive at any C >= 1.
+
+Regenerated as: C sweep at n = 16 with a fixed-budget jammer targeting the
+boundary phases j = lg C (Eve's best play per Definition C.3); plus the
+C > n/2 case, which must match plain ``MultiCastAdv`` (Theorem 7.2 case 1).
+Checks: (a) success at every C; (b) helpers form at the cut-off phase
+j = lg C when C <= n/2; (c) jam-free time grows as C shrinks (the
+n^{2+2α}/C^{2−2α} additive term).
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro import MultiCastAdvC, PhaseTargetedJammer, run_broadcast
+from repro.analysis import render_table, run_trials
+from repro.core.schedule import multicast_adv_spans, phase_intervals
+
+N = 16
+T = 150_000
+KNOBS = dict(alpha=0.24, b=0.05, halt_noise_divisor=50.0, helper_wait=4.0)
+MAX_EPOCHS = 32
+CHANNELS = [2, 4, 8, 64]  # 64 > n/2: the "same as unlimited" case
+
+
+def make_adversary(C, seed):
+    proto = MultiCastAdvC(C, **KNOBS)
+    target = proto.max_phase if C <= N // 2 else int(math.log2(N)) - 1
+    intervals = phase_intervals(multicast_adv_spans(proto, 40), phase=target)
+    return PhaseTargetedJammer(budget=T, intervals=intervals, channel_fraction=1.0, seed=seed)
+
+
+def experiment():
+    rows = []
+    out = []
+    for C in CHANNELS:
+        batch = run_trials(
+            lambda C=C: MultiCastAdvC(C, **KNOBS, max_epochs=MAX_EPOCHS),
+            N,
+            (lambda seed, C=C: make_adversary(C, seed)),
+            trials=2,
+            base_seed=114,
+            max_slots=600_000_000,
+            label=f"C={C}",
+        )
+        helper_phases = set()
+        for r in batch.results:
+            helper_phases |= set(r.extras["helper_phase"].tolist())
+        rows.append(
+            [
+                C,
+                batch.summary("slots").mean,
+                batch.summary("max_cost").mean,
+                batch.success_rate,
+                sorted(helper_phases),
+            ]
+        )
+        out.append((C, batch, helper_phases))
+    print()
+    print(
+        render_table(
+            ["C", "slots", "max cost", "success", "helper phases ĵ"],
+            rows,
+            title=f"EXP-T7.2  MultiCastAdv(C), n={N}, boundary-phase jammer T={T:,}",
+        )
+    )
+    return out
+
+
+@pytest.mark.benchmark(group="EXP-T7.2")
+def test_limited_adv_cutoff(benchmark):
+    out = run_once(benchmark, experiment)
+    slots = {}
+    for C, batch, helper_phases in out:
+        assert batch.success_rate == 1.0, f"C={C}"
+        assert batch.violations == 0
+        slots[C] = batch.summary("slots").mean
+        if C <= N // 2:
+            # (b) helpers only at/below the cut-off; concentrated at j = lg C
+            cutoff = int(math.log2(C))
+            assert max(helper_phases) <= cutoff
+    # (c) fewer channels -> more time (the C^{2-2a} divisor in the additive
+    # term): strictly decreasing in C over the capped range
+    assert slots[2] > slots[4] > slots[8]

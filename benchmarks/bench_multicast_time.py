@@ -1,0 +1,70 @@
+"""EXP-T5.4t — MultiCast running time vs T (Theorem 5.4a).
+
+Claim: all nodes receive the message and terminate within O(T/n + lg²n)
+slots, w.h.p.
+
+Regenerated as: budget sweep at n = 64 under a 90%-blanket jammer.  Checks:
+(a) every run succeeds; (b) time grows ~linearly in T over the jammed range;
+(c) the time/(T/n) ratio is bounded by a constant once T dominates the
+additive lg²n term.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro import BlanketJammer, MultiCast
+from repro.analysis import fit_loglog_slope, render_table, sweep
+
+N = 64
+BUDGETS = [0, 500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000]
+
+
+def experiment():
+    sw = sweep(
+        "T",
+        BUDGETS,
+        lambda T: MultiCast(N, a=0.05),
+        lambda T: N,
+        lambda T, seed: (
+            BlanketJammer(budget=int(T), channels=0.9, placement="random", seed=seed)
+            if T
+            else None
+        ),
+        trials=3,
+        base_seed=54,
+    )
+    rows = [
+        [
+            p.value,
+            p.mean("slots"),
+            (p.mean("slots") / (p.value / N)) if p.value else float("nan"),
+            p.mean("dissemination_slots"),
+            p.batch.success_rate,
+        ]
+        for p in sw
+    ]
+    print()
+    print(
+        render_table(
+            ["T", "slots", "slots/(T/n)", "disseminated by", "success"],
+            rows,
+            title=f"EXP-T5.4t  MultiCast time vs budget, n={N}",
+        )
+    )
+    return sw
+
+
+@pytest.mark.benchmark(group="EXP-T5.4")
+def test_multicast_time_linear_in_budget(benchmark):
+    sw = run_once(benchmark, experiment)
+    assert (sw.success_rates == 1.0).all()
+    assert sw.total_violations == 0
+    jammed = sw.values >= 1_000_000
+    fit = fit_loglog_slope(sw.values[jammed], sw.means("slots")[jammed])
+    assert 0.5 < fit.exponent < 1.4, fit
+    # constant-bounded ratio to T/n on the T-dominated range
+    ratios = sw.means("slots")[jammed] / (sw.values[jammed] / N)
+    assert ratios.max() / ratios.min() < 6.0
+    # monotone: more budget never speeds the broadcast up
+    slots = sw.means("slots")
+    assert all(slots[i] <= slots[i + 1] + 1e-9 for i in range(len(slots) - 1))

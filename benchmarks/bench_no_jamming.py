@@ -1,0 +1,57 @@
+"""EXP-T5.4z — the jam-free additive term (Theorem 5.4, closing remark).
+
+Claim: when Eve is absent (T = 0), all nodes terminate by the end of the
+first iteration, at O(lg²n) time and energy per node.
+
+Regenerated as: n sweep with no adversary.  Checks: (a) success everywhere;
+(b) every run ends after exactly one iteration; (c) time and cost track lg²n
+within a constant band (measured/lg²n ratio stays flat as n quadruples).
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro import MultiCast
+from repro.analysis import render_table, run_trials
+
+SIZES = [16, 32, 64, 128, 256]
+
+
+def experiment():
+    rows = []
+    out = []
+    for n in SIZES:
+        batch = run_trials(
+            lambda n=n: MultiCast(n, a=0.05), n, trials=3, base_seed=74, label=f"n={n}"
+        )
+        lg2 = math.log2(n) ** 2
+        slots = batch.summary("slots").mean
+        cost = batch.summary("max_cost").mean
+        periods = [r.periods for r in batch.results]
+        rows.append([n, slots, slots / lg2, cost, cost / lg2, batch.success_rate])
+        out.append((n, slots / lg2, cost / lg2, periods, batch))
+    print()
+    print(
+        render_table(
+            ["n", "slots", "slots/lg²n", "max cost", "cost/lg²n", "success"],
+            rows,
+            title="EXP-T5.4z  MultiCast with no jamming (T = 0)",
+        )
+    )
+    return out
+
+
+@pytest.mark.benchmark(group="EXP-T5.4")
+def test_no_jamming_costs_polylog(benchmark):
+    out = run_once(benchmark, experiment)
+    slot_ratios = [x[1] for x in out]
+    cost_ratios = [x[2] for x in out]
+    for n, _, _, periods, batch in out:
+        assert batch.success_rate == 1.0, f"n={n}"
+        assert all(p == 1 for p in periods), f"n={n}: not all runs ended in iteration one"
+    # lg²n shape: the normalized ratio varies by a bounded constant while
+    # n varies by 16x
+    assert max(slot_ratios) / min(slot_ratios) < 4.0
+    assert max(cost_ratios) / min(cost_ratios) < 4.0

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one experiment from EXPERIMENTS.md: it runs the
+workload once inside ``benchmark.pedantic`` (so pytest-benchmark reports the
+wall-clock of the whole experiment without re-running a multi-minute
+simulation), prints the paper-style result table to stdout, and asserts the
+*shape* of the claim (who wins, slopes, crossovers) — never absolute numbers.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under the benchmark timer and return its
+    result.  Simulations here run seconds-to-minutes; statistical timing
+    rounds would multiply that for no insight (the experiment's randomness is
+    controlled by seeds, not by the clock)."""
+    box = {}
+
+    def wrapper():
+        box["result"] = fn()
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1, warmup_rounds=0)
+    return box["result"]

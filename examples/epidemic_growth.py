@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Watch the epidemic: exponential growth of the informed population —
+even with 90% of the spectrum jammed 90% of the time.
+
+Lemma 4.1 is the paper's engine room: on n/2 channels, the number of informed
+nodes grows geometrically per "segment" of slots as long as Eve leaves a
+constant fraction of channels un-jammed a constant fraction of the time.
+This example traces ``MultiCastCore`` runs with and without a
+``FractionalJammer(0.9, 0.9)`` and draws the two informed-population curves
+as an ASCII chart: same shape, jammed just ~an order slower.
+
+Run:  python examples/epidemic_growth.py
+"""
+
+import numpy as np
+
+from repro import FractionalJammer, MultiCastCore, run_broadcast
+from repro.sim.trace import TraceRecorder
+
+N = 256
+WIDTH = 68
+
+
+def informed_curve(adversary, seed):
+    trace = TraceRecorder()
+    proto = MultiCastCore(n=N, T=10_000_000, a=8192.0, max_iterations=1)
+    run_broadcast(proto, N, adversary=adversary, seed=seed, trace=trace)
+    return trace.informed_curve()
+
+
+def ascii_chart(series, width=WIDTH, height=16):
+    """series: dict name -> (slots, counts); log-x chart of informed counts."""
+    xmax = max(s[-1] for s, _ in series.values())
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox*+"
+    for k, (name, (slots, counts)) in enumerate(series.items()):
+        for s, c in zip(slots, counts):
+            x = int(np.log1p(s) / np.log1p(xmax) * (width - 1))
+            y = int((c - 1) / (N - 1) * (height - 1))
+            grid[height - 1 - y][x] = marks[k % len(marks)]
+    print(f"informed nodes (1 -> {N}), log-scaled slot axis (0 -> {xmax:,})")
+    for row in grid:
+        print("|" + "".join(row))
+    print("+" + "-" * width)
+    for k, name in enumerate(series):
+        print(f"  '{marks[k % len(marks)]}' = {name}")
+
+
+def main():
+    series = {
+        "clean spectrum": informed_curve(None, seed=5),
+        "90% channels jammed 90% of slots": informed_curve(
+            FractionalJammer(budget=None, slot_fraction=0.9, channel_fraction=0.9, seed=2),
+            seed=5,
+        ),
+    }
+    ascii_chart(series)
+    for name, (slots, counts) in series.items():
+        halfway = slots[np.searchsorted(counts, N // 2)]
+        print(f"{name}: half informed by slot {halfway:,}, all by {slots[-1]:,}")
+    print(
+        "\nBoth curves are exponentials — jamming 90/90 shifts the doubling "
+        "time by a constant, exactly Lemma 4.1's claim.  To stop the epidemic "
+        "Eve must jam ~all channels, paying Theta(n) per slot."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Jamming-strategy gallery: one protocol, every attacker.
+
+The resource-competitive guarantee quantifies over *arbitrary* oblivious
+strategies — Eve's only limit is her budget.  This example throws the whole
+strategy gallery (blanket, duty-cycled, front-loaded, bursty, sweeping,
+random) at ``MultiCast`` with the same budget and tabulates the outcome:
+whoever she plays, the broadcast completes and the per-node cost stays a tiny
+fraction of her spend.
+
+Run:  python examples/jamming_gallery.py   (~30 s)
+"""
+
+from repro import (
+    BlanketJammer,
+    FractionalJammer,
+    FrontLoadedJammer,
+    MultiCast,
+    PeriodicBurstJammer,
+    RandomJammer,
+    SweepJammer,
+    run_broadcast,
+)
+from repro.analysis import render_table
+
+N = 64
+T = 2_000_000
+
+GALLERY = {
+    "none": lambda: None,
+    "blanket 90%": lambda: BlanketJammer(T, channels=0.9, placement="random", seed=1),
+    "blanket 100%": lambda: BlanketJammer(T, channels=1.0, seed=2),
+    "fractional 50/80": lambda: FractionalJammer(T, 0.5, 0.8, seed=3),
+    "front-loaded": lambda: FrontLoadedJammer(T),
+    "bursts 25/50": lambda: PeriodicBurstJammer(T, period=50, burst=25, channels=0.9, seed=4),
+    "sweep w=8": lambda: SweepJammer(T, width=8, seed=5),
+    "random p=.4": lambda: RandomJammer(T, 0.4, seed=6),
+}
+
+
+def main():
+    rows = []
+    baseline_cost = None
+    for name, make in GALLERY.items():
+        r = run_broadcast(MultiCast(N), N, adversary=make(), seed=11)
+        if name == "none":
+            baseline_cost = r.max_cost
+        extra = r.max_cost - baseline_cost
+        rows.append(
+            [
+                name,
+                "yes" if r.success else "NO",
+                r.slots,
+                r.adversary_spend,
+                r.max_cost,
+                extra,
+                (extra / r.adversary_spend) if r.adversary_spend else float("nan"),
+            ]
+        )
+    print(
+        render_table(
+            ["strategy", "ok", "slots", "Eve spend", "max cost", "extra cost", "extra/T"],
+            rows,
+            title=f"MultiCast (n={N}) vs the oblivious-jammer gallery, T={T:,}",
+        )
+    )
+    print(
+        "\n'extra cost' is each node's spend beyond the jam-free baseline "
+        "(the tau of Definition 3.1);\n'extra/T' is the resource-competitive "
+        "ratio — small means Eve is losing the energy war."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: broadcast a message through a jammed multi-channel network.
+
+Runs the paper's headline protocol (``MultiCast``, Fig. 2) on a 64-node
+single-hop network, first on a clean spectrum and then against a jammer
+spending half a million energy units, and prints the resource-competitiveness
+arithmetic (Definition 3.1): Eve outspends every honest node by orders of
+magnitude and still fails to block the broadcast.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BlanketJammer, MultiCast, run_broadcast
+
+N = 64  # nodes; node 0 is the source
+EVE_BUDGET = 2_000_000  # T — Eve's total energy
+
+
+def describe(tag, result):
+    print(f"--- {tag} ---")
+    print(f"  success          : {result.success}")
+    print(f"  slots elapsed    : {result.slots:,}")
+    print(f"  all informed by  : slot {result.dissemination_slot:,}")
+    print(f"  max node cost    : {result.max_cost:,} energy units")
+    print(f"  Eve's spend      : {result.adversary_spend:,}")
+    if result.adversary_spend:
+        print(f"  cost ratio       : {result.competitive_ratio():.4f} (node/Eve)")
+    print()
+
+
+def main():
+    # A clean spectrum: everything finishes inside the first iteration,
+    # O(lg^2 n) time and energy (Theorem 5.4, T = 0 case).
+    clean = run_broadcast(MultiCast(N), N, seed=7)
+    describe("no jamming", clean)
+
+    # Eve jams 90% of the 32 channels every slot until her budget is gone.
+    eve = BlanketJammer(budget=EVE_BUDGET, channels=0.9, placement="random", seed=1)
+    jammed = run_broadcast(MultiCast(N), N, adversary=eve, seed=7)
+    describe(f"blanket jamming, T = {EVE_BUDGET:,}", jammed)
+
+    assert clean.success and jammed.success
+    extra = jammed.max_cost - clean.max_cost
+    print(
+        f"Verdict: Eve burned {jammed.adversary_spend:,} units to delay the "
+        f"broadcast by {jammed.slots - clean.slots:,} slots,\nwhile the most "
+        f"any node paid over the jam-free baseline was {extra:,} units "
+        f"(~sqrt(T/n) — Theorem 5.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Ad-hoc deployment: broadcasting when nobody knows the network size.
+
+``MultiCastAdv`` (paper Fig. 4) guesses n through an epoch/phase lattice:
+phase j of epoch i bets n ~ 2^{j+1} and runs an epidemic broadcast on 2^j
+channels, with a two-stage informed -> helper -> halt termination mechanism
+driven by the four counters N_m, N'_m, N_n, N_s.  This example traces a run
+and prints the status timeline: when the message actually spread, when nodes
+decided the estimate was right (helper), and when they dared to halt.
+
+Run:  python examples/unknown_network.py   (~15 s)
+"""
+
+from repro import MultiCastAdv, run_broadcast
+from repro.analysis import render_table
+from repro.sim.trace import TraceRecorder
+
+N = 16  # the protocol does NOT receive this value
+# Laptop-scale knobs (structural constants are the paper's; see DESIGN.md 2.2)
+PROTO = dict(alpha=0.24, b=0.01, halt_noise_divisor=50.0, helper_wait=4.0)
+
+
+def main():
+    trace = TraceRecorder()
+    r = run_broadcast(MultiCastAdv(**PROTO), N, seed=3, trace=trace, max_slots=120_000_000)
+
+    print(f"success={r.success}  slots={r.slots:,}  epochs={r.periods}  max cost={r.max_cost:,}\n")
+
+    slots, counts = trace.informed_curve()
+    print(f"message fully disseminated by slot {r.dissemination_slot:,} "
+          f"(epoch boundaries are far later — termination is the hard part)\n")
+
+    rows = []
+    helpers = halts = 0
+    for ph in trace.periods_of("phase"):
+        if ph.detail["new_helpers"] or ph.detail["new_halts"]:
+            helpers += ph.detail["new_helpers"]
+            halts += ph.detail["new_halts"]
+            i, j = ph.index
+            rows.append(
+                [f"({i},{j})", 2**j, ph.detail["new_helpers"], ph.detail["new_halts"],
+                 helpers, halts, ph.end_slot]
+            )
+    print(
+        render_table(
+            ["phase (i,j)", "channels", "+helpers", "+halts", "helpers", "halted", "slot"],
+            rows,
+            title="status-transition timeline (phases with activity only)",
+        )
+    )
+    hp = r.extras["helper_phase"]
+    print(
+        f"\nnodes promoted to helper at phases j in {sorted(set(hp.tolist()))} "
+        f"(the paper's 'good' guess for n={N} is j = lg n - 1 = {N.bit_length() - 2}; "
+        "scatter shrinks as the scale knob b grows)"
+    )
+
+
+if __name__ == "__main__":
+    main()

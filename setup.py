@@ -1,0 +1,16 @@
+"""Setup shim for environments without the `wheel` package (offline CI).
+
+`pip install -e . --no-use-pep517` uses this; all metadata lives in
+pyproject.toml and is mirrored here only as far as the legacy path needs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

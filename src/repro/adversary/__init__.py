@@ -1,0 +1,54 @@
+"""Oblivious jamming adversaries ("Eve").
+
+The paper's adversary model (section 3): Eve knows the algorithm and may jam
+any set of channels in any slot at one unit of energy per channel-slot, out of
+a total budget ``T``.  She is *oblivious* — her strategy may depend on the
+slot index and her own coins, but not on the execution (she cannot observe
+channels or the nodes' random bits).
+
+This package enforces that structurally: a strategy only ever receives
+``(start_slot, num_slots, num_channels)``.  Budget accounting and truncation
+live in the shared base class, so every strategy is automatically exact about
+``T``.
+
+The gallery covers the strategy shapes the paper's analysis quantifies over:
+blanket jamming, fractional (x, y) duty-cycle jamming (the exact hypothesis
+shape of Lemmas 4.1/4.3/5.1/5.3 and Definition 6.6), front-loaded spend,
+periodic bursts, channel sweeps, i.i.d. random jamming, arbitrary precomputed
+schedules, and timetable-targeted jamming (Eve's best play against
+``MultiCastAdv``: concentrate on the phases where the protocol's channel-count
+guess is right).
+"""
+
+from repro.adversary.base import Adversary, ObliviousJammer
+from repro.adversary.reactive import ReactiveJammer, SniperJammer, TrailingJammer
+from repro.adversary.strategies import (
+    BlanketJammer,
+    FractionalJammer,
+    FrontLoadedJammer,
+    NoJammer,
+    PeriodicBurstJammer,
+    PhaseTargetedJammer,
+    RandomJammer,
+    ReplayJammer,
+    ScheduleJammer,
+    SweepJammer,
+)
+
+__all__ = [
+    "Adversary",
+    "ObliviousJammer",
+    "ReactiveJammer",
+    "SniperJammer",
+    "TrailingJammer",
+    "NoJammer",
+    "BlanketJammer",
+    "FractionalJammer",
+    "FrontLoadedJammer",
+    "PeriodicBurstJammer",
+    "PhaseTargetedJammer",
+    "RandomJammer",
+    "ReplayJammer",
+    "ScheduleJammer",
+    "SweepJammer",
+]

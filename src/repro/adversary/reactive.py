@@ -1,0 +1,149 @@
+"""Adaptive (reactive) jammers — the paper's section-8 future work.
+
+The paper proves its guarantees for an *oblivious* Eve and conjectures that
+``MultiCast``/``MultiCastAdv`` survive an *adaptive* one "with few (or even
+no) modifications".  This module implements that extension so the conjecture
+can be probed empirically:
+
+* :class:`ReactiveJammer` — the adaptive interface: per slot, Eve first
+  *observes* which channels carry at least one transmission (a standard
+  reactive-jammer sensing model, cf. Richa et al.), then picks channels to
+  jam **within the same slot**.  Budget rules are unchanged: one unit per
+  jammed channel-slot.
+* :class:`SniperJammer` — jam up to ``k`` of the currently busy channels
+  (every unit she spends lands on a live transmission).  NOTE: within-slot
+  sensing is *strictly stronger* than both the paper's oblivious model and
+  its section-8 adaptive conjecture (which lets Eve react to history, not
+  the current slot): empirically the sniper defeats ``MultiCast`` at ~one
+  unit per transmission, demonstrating that the obliviousness/latency
+  assumption is load-bearing, consistent with the rate-limited reactive
+  models of Richa et al. the related-work section cites.
+* :class:`TrailingJammer` — jam the channels that were busy in the previous
+  slot: the honest one-slot-latency instantiation of "adaptive".  Against
+  uniform per-slot rehopping this is barely better than random jamming,
+  supporting the paper's conjecture that adaptivity-with-latency does not
+  help Eve.
+
+Adaptivity cannot be expressed through the oblivious block API (the engine
+never shows Eve node behaviour — by design), so reactive jammers run on the
+scalar slot-by-slot runtime: see
+:func:`repro.sim.node.ScalarNetwork` (``adversary`` may be reactive) and the
+``bench_adaptive_extension`` experiment.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.rng import RandomFabric
+
+__all__ = ["ReactiveJammer", "SniperJammer", "TrailingJammer"]
+
+
+class ReactiveJammer(ABC):
+    """Adaptive per-slot jammer with sensing.
+
+    Subclasses implement :meth:`react`; the base class enforces the budget
+    exactly (channel-by-channel, like the oblivious base).
+    """
+
+    def __init__(self, budget: Optional[int] = None, seed: int = 0):
+        if budget is not None and budget < 0:
+            raise ValueError("budget must be non-negative")
+        self.budget = None if budget is None else int(budget)
+        self._seed = int(seed)
+        self.rng = RandomFabric(self._seed).generator("reactive")
+        self._spent = 0
+
+    @property
+    def spent(self) -> int:
+        return self._spent
+
+    @property
+    def remaining(self) -> Optional[int]:
+        return None if self.budget is None else self.budget - self._spent
+
+    def reset(self) -> None:
+        self.rng = RandomFabric(self._seed).generator("reactive")
+        self._spent = 0
+
+    # -- strategy hook ---------------------------------------------------------
+    @abstractmethod
+    def react(self, slot: int, busy: np.ndarray) -> np.ndarray:
+        """Return the boolean jam mask (C,) for this slot.
+
+        ``busy[c]`` is True iff at least one node is transmitting on channel
+        ``c`` *in this slot* (within-slot sensing).  The returned mask is
+        budget-clipped by the caller.
+        """
+
+    # -- runtime entry point -----------------------------------------------------
+    def jam_slot(self, slot: int, busy: np.ndarray) -> np.ndarray:
+        remaining = self.remaining
+        if remaining is not None and remaining <= 0:
+            return np.zeros(busy.shape, dtype=bool)
+        mask = np.asarray(self.react(slot, busy), dtype=bool)
+        if mask.shape != busy.shape:
+            raise ValueError("react returned a mask of the wrong shape")
+        if remaining is not None and mask.sum() > remaining:
+            jam_positions = np.nonzero(mask)[0]
+            mask = mask.copy()
+            mask[jam_positions[remaining:]] = False
+        self._spent += int(mask.sum())
+        return mask
+
+
+class SniperJammer(ReactiveJammer):
+    """Jam up to ``k`` currently-busy channels per slot (uniformly chosen if
+    more are busy).  Every energy unit lands on a live transmission — the
+    strongest per-slot adaptive play under unit costs."""
+
+    def __init__(self, budget: Optional[int], k: int = 1, *, seed: int = 0):
+        super().__init__(budget=budget, seed=seed)
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.k = int(k)
+
+    def react(self, slot: int, busy: np.ndarray) -> np.ndarray:
+        mask = np.zeros(busy.shape, dtype=bool)
+        hot = np.nonzero(busy)[0]
+        if hot.size == 0 or self.k == 0:
+            return mask
+        if hot.size > self.k:
+            hot = self.rng.choice(hot, size=self.k, replace=False)
+        mask[hot] = True
+        return mask
+
+
+class TrailingJammer(ReactiveJammer):
+    """Jam the channels that were busy in the *previous* slot (one-slot
+    sensing latency).  Against uniform per-slot channel rehopping this is
+    barely better than random — which is the point of measuring it."""
+
+    def __init__(self, budget: Optional[int], k: int = 1, *, seed: int = 0):
+        super().__init__(budget=budget, seed=seed)
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.k = int(k)
+        self._last_busy: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._last_busy = None
+
+    def react(self, slot: int, busy: np.ndarray) -> np.ndarray:
+        mask = np.zeros(busy.shape, dtype=bool)
+        prev = self._last_busy
+        self._last_busy = busy.copy()
+        if prev is None or prev.shape != busy.shape:
+            return mask
+        hot = np.nonzero(prev)[0]
+        if hot.size == 0 or self.k == 0:
+            return mask
+        if hot.size > self.k:
+            hot = self.rng.choice(hot, size=self.k, replace=False)
+        mask[hot] = True
+        return mask

@@ -1,0 +1,27 @@
+"""Experiment harness: trials, sweeps, fits, theory predictors, tables.
+
+The benchmark modules (``benchmarks/``) are thin: all reusable machinery —
+running seeded trial batches, sweeping a parameter, fitting log-log slopes,
+predicting the paper's bounds, and rendering the paper-style ASCII tables —
+lives here so examples and tests can use it too.
+"""
+
+from repro.analysis.fits import fit_loglog_slope, fit_linear
+from repro.analysis.stats import Summary, TrialBatch, run_trials, summarize
+from repro.analysis.sweeps import SweepPoint, SweepResult, sweep
+from repro.analysis.tables import render_table
+from repro.analysis import theory
+
+__all__ = [
+    "Summary",
+    "SweepPoint",
+    "SweepResult",
+    "TrialBatch",
+    "fit_linear",
+    "fit_loglog_slope",
+    "render_table",
+    "run_trials",
+    "summarize",
+    "sweep",
+    "theory",
+]

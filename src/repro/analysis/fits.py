@@ -1,0 +1,75 @@
+"""Scaling-law fits.
+
+The theorem-shape experiments reduce to two questions about a measured curve
+y(x):
+
+* is it linear in x (time vs. T for fixed n — Theorems 4.4/5.4)?  ->
+  :func:`fit_linear` and check the relative residual;
+* what power law does it follow (cost vs. T — the sqrt in Theorem 5.4(b))?
+  -> :func:`fit_loglog_slope` and compare the exponent.
+
+Both are tiny least-squares wrappers; they exist so benches and tests state
+their acceptance criteria in one line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LinearFit", "PowerFit", "fit_linear", "fit_loglog_slope"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """y ~ slope * x + intercept."""
+
+    slope: float
+    intercept: float
+    r2: float
+
+
+@dataclass(frozen=True)
+class PowerFit:
+    """y ~ scale * x^exponent (fit in log-log space)."""
+
+    exponent: float
+    scale: float
+    r2: float
+
+
+def _r2(y: np.ndarray, yhat: np.ndarray) -> float:
+    ss_res = float(((y - yhat) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Ordinary least squares line through (x, y)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size < 2:
+        raise ValueError("need at least two points")
+    slope, intercept = np.polyfit(x, y, 1)
+    return LinearFit(float(slope), float(intercept), _r2(y, slope * x + intercept))
+
+
+def fit_loglog_slope(x: Sequence[float], y: Sequence[float]) -> PowerFit:
+    """Power-law exponent via least squares on (log x, log y).
+
+    Points with non-positive coordinates are rejected (they indicate a bug in
+    the caller's sweep, not a fitting concern).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size < 2:
+        raise ValueError("need at least two points")
+    if (x <= 0).any() or (y <= 0).any():
+        raise ValueError("log-log fit needs strictly positive data")
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    return PowerFit(float(slope), float(np.exp(intercept)), _r2(ly, slope * lx + intercept))

@@ -1,0 +1,51 @@
+"""ASCII table rendering for bench output.
+
+The benches print paper-style result tables to stdout (captured in
+``bench_output.txt`` and quoted in EXPERIMENTS.md).  One tiny renderer keeps
+them uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["render_table"]
+
+
+def _fmt(x: Any) -> str:
+    if isinstance(x, float):
+        if x != x:  # NaN
+            return "—"
+        if x == 0:
+            return "0"
+        if abs(x) >= 1000 or abs(x) < 0.01:
+            return f"{x:.3g}"
+        return f"{x:.3f}".rstrip("0").rstrip(".")
+    return str(x)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width ASCII table (right-aligned numeric-ish cells)."""
+    srows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in srows)
+    return "\n".join(out)

@@ -1,0 +1,95 @@
+"""Predictors for the paper's bounds, used as reference curves.
+
+These return the *shape* each theorem predicts, up to the unknown constant —
+benches normalize both curves at one anchor point and compare shapes, never
+absolute values (the paper's constants are for analysis, not prediction).
+
+================  ======================================================
+function          paper claim
+================  ======================================================
+multicast_core_*  Thm 4.4:  time, cost = O(T/n + max{lg T, lg n})
+multicast_time    Thm 5.4a: O(T/n + lg^2 n)
+multicast_cost    Thm 5.4b: O(sqrt(T/n) * sqrt(lg T) * lg n + lg^2 n)
+adv_time          Thm 6.10b: O~(T / n^{1-2a} + n^{2a})
+adv_cost          Thm 6.10c: O~(sqrt(T / n^{1-2a}) + n^{2a})
+limited_time      Cor 7.1:  O(T/C + (n/C) lg^2 n)
+limited_adv_time  Thm 7.2:  O~(T / C^{1-2a} + n^{2+2a} / C^{2-2a})
+================  ======================================================
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "multicast_core_time",
+    "multicast_time",
+    "multicast_cost",
+    "adv_time",
+    "adv_cost",
+    "limited_time",
+    "limited_adv_time",
+    "normalize_to",
+]
+
+
+def _lg(x) -> np.ndarray:
+    return np.log2(np.maximum(2.0, np.asarray(x, dtype=np.float64)))
+
+
+def multicast_core_time(T, n) -> np.ndarray:
+    """Theorem 4.4: O(T/n + max{lg T, lg n}) — also the cost bound."""
+    T = np.asarray(T, dtype=np.float64)
+    return T / n + np.maximum(_lg(T), math.log2(n))
+
+
+def multicast_time(T, n) -> np.ndarray:
+    """Theorem 5.4(a): O(T/n + lg^2 n)."""
+    T = np.asarray(T, dtype=np.float64)
+    return T / n + math.log2(n) ** 2
+
+
+def multicast_cost(T, n) -> np.ndarray:
+    """Theorem 5.4(b): O(sqrt(T/n) * sqrt(lg T) * lg n + lg^2 n)."""
+    T = np.asarray(T, dtype=np.float64)
+    return np.sqrt(T / n) * np.sqrt(_lg(T)) * math.log2(n) + math.log2(n) ** 2
+
+
+def adv_time(T, n, alpha) -> np.ndarray:
+    """Theorem 6.10(b): O(T / n^{1-2a} * lg^3 T + n^{2a} * lg^3 n)."""
+    T = np.asarray(T, dtype=np.float64)
+    return T / n ** (1 - 2 * alpha) * _lg(T) ** 3 + n ** (2 * alpha) * math.log2(n) ** 3
+
+
+def adv_cost(T, n, alpha) -> np.ndarray:
+    """Theorem 6.10(c): O(sqrt(T / n^{1-2a}) * lg^3 T + n^{2a} * lg^3 n)."""
+    T = np.asarray(T, dtype=np.float64)
+    return (
+        np.sqrt(T / n ** (1 - 2 * alpha)) * _lg(T) ** 3
+        + n ** (2 * alpha) * math.log2(n) ** 3
+    )
+
+
+def limited_time(T, n, C) -> np.ndarray:
+    """Corollary 7.1: O(T/C + (n/C) * lg^2 n)."""
+    T = np.asarray(T, dtype=np.float64)
+    C = np.asarray(C, dtype=np.float64)
+    return T / C + (n / C) * math.log2(n) ** 2
+
+
+def limited_adv_time(T, n, C, alpha) -> np.ndarray:
+    """Theorem 7.2: O~(T / C^{1-2a} + n^{2+2a} / C^{2-2a})."""
+    T = np.asarray(T, dtype=np.float64)
+    C = np.asarray(C, dtype=np.float64)
+    return T / C ** (1 - 2 * alpha) + n ** (2 + 2 * alpha) / C ** (2 - 2 * alpha)
+
+
+def normalize_to(prediction: np.ndarray, measured: np.ndarray, anchor: int = -1) -> np.ndarray:
+    """Scale a predicted curve so it matches the measurement at one anchor
+    index (default: the last, largest-parameter point).  Shape comparison
+    only — the paper's hidden constants are not reproducible."""
+    prediction = np.asarray(prediction, dtype=np.float64)
+    scale = measured[anchor] / prediction[anchor]
+    return prediction * scale

@@ -1,0 +1,24 @@
+"""Baseline broadcast protocols the paper compares against (or motivates with).
+
+* :class:`repro.baselines.decay.DecayBroadcast` — the classic Decay procedure
+  of Bar-Yehuda, Goldreich & Itai (paper ref. [3]): single channel, no
+  jamming defense.  Shows what happens to a non-robust protocol under Eve.
+* :class:`repro.baselines.naive.NaiveEpidemic` — the always-on multi-channel
+  epidemic broadcast from the paper's introduction, with participation
+  probability 1: fastest possible dissemination, but per-node energy grows
+  linearly with time (not resource-competitive).
+* :class:`repro.baselines.single_channel.SingleChannelCompetitive` — stand-in
+  for Gilbert et al. SPAA'14 (paper ref. [14]; O(T+n) time, O~(sqrt(T/n))
+  energy).  Implemented as the paper's own ``MultiCast(C = 1)`` reduction,
+  which section 7 notes matches [14]'s energy bound with time O(T + n lg^2 n).
+  See DESIGN.md section 2.4 for the substitution rationale.
+
+All baselines return the same :class:`repro.core.result.BroadcastResult` as
+the core protocols, so the comparison benches treat everything uniformly.
+"""
+
+from repro.baselines.decay import DecayBroadcast
+from repro.baselines.naive import NaiveEpidemic
+from repro.baselines.single_channel import SingleChannelCompetitive
+
+__all__ = ["DecayBroadcast", "NaiveEpidemic", "SingleChannelCompetitive"]

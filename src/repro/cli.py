@@ -1,0 +1,184 @@
+"""Command-line interface: run broadcasts and small studies from the shell.
+
+Examples
+--------
+Run one execution and print the result::
+
+    python -m repro run --protocol multicast --n 64 \
+        --jammer blanket --budget 2000000 --seed 7
+
+Protocol x jammer gallery table::
+
+    python -m repro gallery --n 64 --budget 1000000
+
+Channel-scarcity sweep (Corollary 7.1's shape)::
+
+    python -m repro channels --n 64 --budget 250000
+
+The CLI wraps the same public API the examples use; it exists so ad-hoc
+reproduction runs don't require writing a script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro import (
+    BlanketJammer,
+    FractionalJammer,
+    FrontLoadedJammer,
+    MultiCast,
+    MultiCastAdv,
+    MultiCastAdvC,
+    MultiCastC,
+    MultiCastCore,
+    PeriodicBurstJammer,
+    RandomJammer,
+    SweepJammer,
+    run_broadcast,
+)
+from repro.analysis import render_table
+
+__all__ = ["main", "build_parser", "make_protocol", "make_jammer"]
+
+#: MultiCastAdv laptop-scale profile used by the CLI (see DESIGN.md 2.2).
+ADV_KNOBS = dict(alpha=0.24, b=0.05, halt_noise_divisor=50.0, helper_wait=4.0)
+
+
+def make_protocol(name: str, n: int, *, T: int = 0, C: Optional[int] = None):
+    """Build a protocol object by CLI name."""
+    name = name.lower()
+    if name in ("core", "multicastcore"):
+        return MultiCastCore(n=n, T=max(T, n))
+    if name in ("multicast", "mc"):
+        return MultiCast(n)
+    if name in ("multicast_c", "mcc"):
+        return MultiCastC(n, C if C is not None else max(1, n // 8))
+    if name in ("adv", "multicastadv"):
+        return MultiCastAdv(**ADV_KNOBS, max_epochs=32)
+    if name in ("adv_c", "multicastadvc"):
+        return MultiCastAdvC(C if C is not None else 8, **ADV_KNOBS, max_epochs=32)
+    raise SystemExit(f"unknown protocol {name!r} (try: core, multicast, multicast_c, adv, adv_c)")
+
+
+def make_jammer(name: str, budget: int, seed: int):
+    """Build a jammer by CLI name (``none`` -> no adversary)."""
+    name = name.lower()
+    if name == "none" or budget == 0:
+        return None
+    table = {
+        "blanket": lambda: BlanketJammer(budget, channels=0.9, placement="random", seed=seed),
+        "blackout": lambda: BlanketJammer(budget, channels=1.0, seed=seed),
+        "fractional": lambda: FractionalJammer(budget, 0.9, 0.9, seed=seed),
+        "frontloaded": lambda: FrontLoadedJammer(budget),
+        "bursts": lambda: PeriodicBurstJammer(budget, period=90, burst=60, channels=1.0, seed=seed),
+        "sweep": lambda: SweepJammer(budget, width=8, seed=seed),
+        "random": lambda: RandomJammer(budget, 0.5, seed=seed),
+    }
+    if name not in table:
+        raise SystemExit(f"unknown jammer {name!r} (try: {', '.join(table)}, none)")
+    return table[name]()
+
+
+def _result_rows(result):
+    return [
+        ["success", result.success],
+        ["slots", result.slots],
+        ["disseminated by", result.dissemination_slot],
+        ["max node cost", result.max_cost],
+        ["mean node cost", round(result.mean_cost, 1)],
+        ["Eve's spend", result.adversary_spend],
+        ["periods", result.periods],
+    ]
+
+
+def cmd_run(args) -> int:
+    proto = make_protocol(args.protocol, args.n, T=args.budget, C=args.channels)
+    adv = make_jammer(args.jammer, args.budget, seed=args.seed + 1)
+    result = run_broadcast(proto, args.n, adversary=adv, seed=args.seed, max_slots=args.max_slots)
+    print(render_table(["metric", "value"], _result_rows(result), title=str(result.protocol)))
+    return 0 if result.success else 1
+
+
+def cmd_gallery(args) -> int:
+    jammers = ["none", "blanket", "blackout", "fractional", "frontloaded", "bursts", "sweep", "random"]
+    rows = []
+    ok = True
+    for name in jammers:
+        proto = make_protocol(args.protocol, args.n, T=args.budget)
+        adv = make_jammer(name, args.budget, seed=args.seed + 1)
+        r = run_broadcast(proto, args.n, adversary=adv, seed=args.seed, max_slots=args.max_slots)
+        ok &= r.success
+        rows.append([name, "yes" if r.success else "NO", r.slots, r.adversary_spend, r.max_cost])
+    print(
+        render_table(
+            ["jammer", "ok", "slots", "Eve spend", "max cost"],
+            rows,
+            title=f"{args.protocol} (n={args.n}) vs the gallery, budget {args.budget:,}",
+        )
+    )
+    return 0 if ok else 1
+
+
+def cmd_channels(args) -> int:
+    rows = []
+    ok = True
+    C = 1
+    while C <= args.n // 2:
+        proto = MultiCastC(args.n, C)
+        adv = make_jammer("blackout", args.budget, seed=args.seed + 1)
+        r = run_broadcast(proto, args.n, adversary=adv, seed=args.seed, max_slots=args.max_slots)
+        ok &= r.success
+        rows.append([C, "yes" if r.success else "NO", r.slots, r.max_cost])
+        C *= 2
+    print(
+        render_table(
+            ["C", "ok", "slots", "max cost"],
+            rows,
+            title=f"MultiCast(C) sweep, n={args.n}, budget {args.budget:,} (Cor. 7.1: time ~ 1/C)",
+        )
+    )
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Resource-competitive multi-channel broadcast (Chen & Zheng, SPAA 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--n", type=int, default=64, help="number of nodes (node 0 = source)")
+        p.add_argument("--budget", type=int, default=0, help="Eve's energy budget T")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--max-slots", type=int, default=200_000_000)
+
+    p_run = sub.add_parser("run", help="one execution")
+    common(p_run)
+    p_run.add_argument("--protocol", default="multicast")
+    p_run.add_argument("--jammer", default="blanket")
+    p_run.add_argument("--channels", type=int, default=None, help="C for the (C) variants")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_gal = sub.add_parser("gallery", help="one protocol vs every jammer")
+    common(p_gal)
+    p_gal.add_argument("--protocol", default="multicast")
+    p_gal.set_defaults(fn=cmd_gallery)
+
+    p_ch = sub.add_parser("channels", help="MultiCast(C) scarcity sweep")
+    common(p_ch)
+    p_ch.set_defaults(fn=cmd_channels)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The paper's algorithms (Chen & Zheng, SPAA 2019).
+
+Five protocols, matching the paper's five pseudocode figures:
+
+* :class:`repro.core.multicast_core.MultiCastCore` — Fig. 1; knows n and T.
+* :class:`repro.core.multicast.MultiCast` — Fig. 2; knows n only.
+* :class:`repro.core.multicast_adv.MultiCastAdv` — Fig. 4; knows neither.
+* :class:`repro.core.limited.MultiCastC` — Fig. 5; ``MultiCast`` on C channels.
+* :class:`repro.core.limited.MultiCastAdvC` — Fig. 6; ``MultiCastAdv`` with
+  the phase cut-off at j = lg C (implemented as ``MultiCastAdv(channel_cap=C)``).
+
+All protocols share the vectorized block runner in :mod:`repro.core.runner`
+and return a :class:`repro.core.result.BroadcastResult`.  Scalar, pseudocode-
+literal implementations live in :mod:`repro.core.reference` for differential
+testing.
+"""
+
+from repro.core.limited import MultiCastAdvC, MultiCastC, effective_channels
+from repro.core.multicast import MultiCast
+from repro.core.multicast_adv import MultiCastAdv
+from repro.core.multicast_core import MultiCastCore
+from repro.core.result import BroadcastResult, run_broadcast
+from repro.core.schedule import (
+    IterationSpan,
+    PhaseSpan,
+    multicast_adv_spans,
+    multicast_core_spans,
+    multicast_spans,
+    phase_intervals,
+)
+
+__all__ = [
+    "BroadcastResult",
+    "IterationSpan",
+    "MultiCast",
+    "MultiCastAdv",
+    "MultiCastAdvC",
+    "MultiCastC",
+    "MultiCastCore",
+    "PhaseSpan",
+    "effective_channels",
+    "multicast_adv_spans",
+    "multicast_core_spans",
+    "multicast_spans",
+    "phase_intervals",
+    "run_broadcast",
+]

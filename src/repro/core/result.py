@@ -1,0 +1,109 @@
+"""Execution results and the one-call convenience runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.sim.engine import RadioNetwork
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["BroadcastResult", "run_broadcast"]
+
+
+@dataclass
+class BroadcastResult:
+    """Outcome of one protocol execution.
+
+    Correctness of a run means: every node halted (``completed``), every node
+    knew the message when it halted (``halted_uninformed == 0``), and hence
+    ``all_informed``.  The resource-competitiveness claims are about
+    ``max_cost`` versus ``adversary_spend`` and about ``slots``.
+    """
+
+    protocol: str
+    n: int
+    slots: int  #: physical slots elapsed when the execution ended
+    completed: bool  #: all nodes halted before the safety caps fired
+    informed_slot: np.ndarray  #: (n,) global slot the node learned m; -1 = never; 0 = source
+    halt_slot: np.ndarray  #: (n,) global slot the node halted; -1 = never
+    node_energy: np.ndarray  #: (n,) total listen+send cost per node
+    adversary_spend: int  #: Eve's actual expenditure T(pi)
+    halted_uninformed: int  #: nodes that terminated without the message (errors)
+    periods: int  #: iterations (Figs. 1/2/5) or epochs (Figs. 4/6) executed
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    # -- derived ---------------------------------------------------------------
+    @property
+    def all_informed(self) -> bool:
+        """Every node learned the message."""
+        return bool((self.informed_slot >= 0).all())
+
+    @property
+    def success(self) -> bool:
+        """The broadcast met its correctness contract end to end."""
+        return self.completed and self.all_informed and self.halted_uninformed == 0
+
+    @property
+    def max_cost(self) -> int:
+        """max_u cost(u) — the left-hand side of Definition 3.1."""
+        return int(self.node_energy.max())
+
+    @property
+    def mean_cost(self) -> float:
+        return float(self.node_energy.mean())
+
+    @property
+    def dissemination_slot(self) -> Optional[int]:
+        """First slot by which *all* nodes were informed (None if never)."""
+        if not self.all_informed:
+            return None
+        return int(self.informed_slot.max())
+
+    @property
+    def last_halt_slot(self) -> Optional[int]:
+        """Slot at which the last node halted (None if some never halted)."""
+        if (self.halt_slot < 0).any():
+            return None
+        return int(self.halt_slot.max())
+
+    def competitive_ratio(self) -> float:
+        """``max_cost / adversary_spend`` (inf when Eve spent nothing)."""
+        if self.adversary_spend == 0:
+            return float("inf")
+        return self.max_cost / self.adversary_spend
+
+    def __str__(self) -> str:  # pragma: no cover - human-readable report
+        return (
+            f"{self.protocol}(n={self.n}): success={self.success} "
+            f"slots={self.slots} max_cost={self.max_cost} "
+            f"eve={self.adversary_spend} periods={self.periods}"
+        )
+
+
+def run_broadcast(
+    protocol,
+    n: int,
+    adversary=None,
+    *,
+    seed: int = 0,
+    max_slots: int = 50_000_000,
+    trace: Optional[TraceRecorder] = None,
+) -> BroadcastResult:
+    """Create a fresh network, reset the adversary, and run one execution.
+
+    This is the main entry point for examples and experiments::
+
+        from repro import MultiCast, BlanketJammer, run_broadcast
+        result = run_broadcast(MultiCast(n=64, a=0.02),
+                               n=64,
+                               adversary=BlanketJammer(budget=50_000, channels=0.5),
+                               seed=7)
+        assert result.success
+    """
+    if adversary is not None:
+        adversary.reset()
+    net = RadioNetwork(n, adversary, seed=seed, max_slots=max_slots)
+    return protocol.run(net, trace=trace)

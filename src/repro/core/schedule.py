@@ -1,0 +1,151 @@
+"""Deterministic protocol timetables.
+
+Every protocol in the paper is *channel-uniform* and has a deterministic slot
+structure: iteration/phase boundaries depend only on the protocol parameters,
+never on the execution.  An oblivious adversary knows the algorithm (paper
+section 3), hence knows this timetable — the paper's section 6.1 argues Eve's
+best play against ``MultiCastAdv`` is to concentrate on the phases whose
+channel-count guess matches n.
+
+This module computes those timetables so that:
+
+* :class:`repro.adversary.strategies.PhaseTargetedJammer` can jam exactly the
+  "good" phases (the EXP-T6.10 / EXP-T7.2 workloads); and
+* analysis code can attribute slots/energy to iterations or phases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+__all__ = [
+    "IterationSpan",
+    "PhaseSpan",
+    "multicast_core_spans",
+    "multicast_spans",
+    "multicast_adv_spans",
+    "phase_intervals",
+]
+
+
+@dataclass(frozen=True)
+class IterationSpan:
+    """One iteration of Figs. 1/2/5 in global physical slots (half-open)."""
+
+    index: int  #: iteration number i
+    start: int
+    end: int
+    R: int  #: iteration length in virtual slots (= rounds for Fig. 5)
+    p: float  #: listen/broadcast probability
+    num_channels: int  #: physical channels in use
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """One (i, j)-phase of Figs. 4/6 in global physical slots (half-open)."""
+
+    epoch: int
+    phase: int
+    start: int  #: first slot of step I
+    step_boundary: int  #: first slot of step II
+    end: int  #: one past the last slot of step II
+    R: int  #: slots per step
+    p: float
+    num_channels: int  #: 2^j
+
+    @property
+    def step1(self) -> Tuple[int, int]:
+        return (self.start, self.step_boundary)
+
+    @property
+    def step2(self) -> Tuple[int, int]:
+        return (self.step_boundary, self.end)
+
+
+def multicast_core_spans(protocol, max_iterations: int) -> List[IterationSpan]:
+    """Timetable of a :class:`repro.core.multicast_core.MultiCastCore`."""
+    spans = []
+    clock = 0
+    R = protocol.iteration_slots
+    for it in range(1, max_iterations + 1):
+        spans.append(
+            IterationSpan(it, clock, clock + R, R, protocol.LISTEN_PROB, protocol.num_channels)
+        )
+        clock += R
+    return spans
+
+
+def multicast_spans(protocol, max_iterations: int) -> List[IterationSpan]:
+    """Timetable of a :class:`repro.core.multicast.MultiCast` or
+    :class:`repro.core.limited.MultiCastC` (physical slots either way)."""
+    spans = []
+    clock = 0
+    slots_per_round = getattr(protocol, "slots_per_round", 1)
+    channels = getattr(protocol, "C", protocol.num_channels)
+    i = protocol.start_iteration
+    for _ in range(max_iterations):
+        R = protocol.iteration_length(i)
+        length = R * slots_per_round
+        spans.append(
+            IterationSpan(i, clock, clock + length, R, protocol.listen_prob(i), channels)
+        )
+        clock += length
+        i += 1
+    return spans
+
+
+def multicast_adv_spans(protocol, max_epochs: int) -> List[PhaseSpan]:
+    """Timetable of a :class:`repro.core.multicast_adv.MultiCastAdv` (or the
+    Fig. 6 variant — the phase cut-off is honoured automatically)."""
+    spans = []
+    clock = 0
+    for i in range(protocol.first_epoch, protocol.first_epoch + max_epochs):
+        for j in protocol.phases_of_epoch(i):
+            R = protocol.phase_length(i, j)
+            spans.append(
+                PhaseSpan(
+                    epoch=i,
+                    phase=j,
+                    start=clock,
+                    step_boundary=clock + R,
+                    end=clock + 2 * R,
+                    R=R,
+                    p=protocol.participation_prob(i, j),
+                    num_channels=protocol.phase_channels(j),
+                )
+            )
+            clock += 2 * R
+    return spans
+
+
+def phase_intervals(
+    spans: List[PhaseSpan],
+    *,
+    phase: Optional[int] = None,
+    step: Optional[int] = None,
+    predicate: Optional[Callable[[PhaseSpan], bool]] = None,
+) -> List[Tuple[int, int]]:
+    """Extract half-open slot intervals from a phase timetable.
+
+    ``phase`` filters on j (e.g. ``phase = lg n - 1`` selects the "good"
+    phases Eve should target); ``step`` of 1 or 2 narrows to one step;
+    ``predicate`` is an arbitrary extra filter.  The result feeds directly
+    into :class:`repro.adversary.strategies.PhaseTargetedJammer`.
+    """
+    out = []
+    for s in spans:
+        if phase is not None and s.phase != phase:
+            continue
+        if predicate is not None and not predicate(s):
+            continue
+        if step is None:
+            out.append((s.start, s.end))
+        elif step == 1:
+            out.append(s.step1)
+        elif step == 2:
+            out.append(s.step2)
+        else:
+            raise ValueError("step must be None, 1, or 2")
+    return out

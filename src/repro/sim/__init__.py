@@ -1,0 +1,64 @@
+"""Radio-network simulation substrate.
+
+This subpackage implements the synchronous, single-hop, multi-channel radio
+network model of Chen & Zheng (SPAA 2019), section 3:
+
+* time is divided into discrete slots; all nodes start at slot 0;
+* in each slot a node accesses one channel and broadcasts, listens, or idles;
+* per (slot, channel): no broadcaster and no jamming -> silence; exactly one
+  broadcaster and no jamming -> the message is delivered to every listener;
+  two or more broadcasters, or jamming -> noise.  Collision and jamming are
+  indistinguishable, and broadcasters receive no feedback;
+* broadcast/listen cost one unit of energy per slot, idling is free; jamming
+  one channel for one slot costs the adversary one unit.
+
+The hot path is fully vectorized with NumPy: slots are resolved in blocks
+(:func:`repro.sim.channel.resolve_block`), and :class:`repro.sim.engine.RadioNetwork`
+keeps the global clock, the per-node energy ledger and the adversary spend in
+sync.  A scalar, slot-by-slot runtime (:mod:`repro.sim.node`) provides a
+readable reference implementation used for differential testing.
+"""
+
+from repro.sim.channel import (
+    ACT_IDLE,
+    ACT_LISTEN,
+    ACT_SEND_BEACON,
+    ACT_SEND_MSG,
+    FB_BEACON,
+    FB_MSG,
+    FB_NOISE,
+    FB_NONE,
+    FB_SILENCE,
+    resolve_block,
+    resolve_slot,
+)
+from repro.sim.jam import JamBlock
+from repro.sim.engine import BlockProtocolError, RadioNetwork, SlotLimitExceeded
+from repro.sim.metrics import EnergyLedger
+from repro.sim.node import NodeProtocol, ScalarNetwork
+from repro.sim.rng import RandomFabric, derive_seed
+from repro.sim.trace import TraceRecorder
+
+__all__ = [
+    "ACT_IDLE",
+    "ACT_LISTEN",
+    "ACT_SEND_BEACON",
+    "ACT_SEND_MSG",
+    "FB_BEACON",
+    "FB_MSG",
+    "FB_NOISE",
+    "FB_NONE",
+    "FB_SILENCE",
+    "BlockProtocolError",
+    "JamBlock",
+    "EnergyLedger",
+    "NodeProtocol",
+    "RadioNetwork",
+    "RandomFabric",
+    "ScalarNetwork",
+    "SlotLimitExceeded",
+    "TraceRecorder",
+    "derive_seed",
+    "resolve_block",
+    "resolve_slot",
+]

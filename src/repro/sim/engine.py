@@ -1,0 +1,169 @@
+"""The synchronous network engine.
+
+:class:`RadioNetwork` owns the three pieces of global state every protocol
+needs — the slot clock, the energy ledger, and the adversary — and exposes a
+two-phase block API designed for the vectorized protocol runners:
+
+1. ``jam = net.draw_jamming(K, C)`` — fetch Eve's jamming mask for the next
+   ``K`` slots on ``C`` channels.  This *commits Eve's spend immediately*:
+   jamming energy is burned whether or not any node listens (she is oblivious
+   and cannot react to node behaviour), matching the model.
+2. (the protocol resolves the block, possibly re-resolving a tail after a
+   status change, reusing the same mask and the same node coin draws), then
+3. ``net.commit_block(actions)`` — charge node energy for the final action
+   matrix and advance the clock by ``K``.
+
+The draw/commit pairing is enforced at runtime (:class:`BlockProtocolError`)
+so a buggy protocol cannot double-charge or skip slots.  Obliviousness is
+enforced structurally: adversaries only ever see ``(start_slot, K, C)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.channel import ACT_LISTEN, ACT_SEND_BEACON, ACT_SEND_MSG
+from repro.sim.jam import JamBlock
+from repro.sim.metrics import EnergyLedger
+from repro.sim.rng import RandomFabric
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.adversary.base import Adversary
+
+__all__ = ["RadioNetwork", "SlotLimitExceeded", "BlockProtocolError"]
+
+
+class SlotLimitExceeded(RuntimeError):
+    """The execution ran past ``max_slots`` without terminating.
+
+    Raised by :meth:`RadioNetwork.commit_block`.  Protocol runners catch this
+    and report a truncated (non-completed) result instead of spinning forever
+    — relevant when the adversary is strong enough to block termination at
+    the configured scale.
+    """
+
+
+class BlockProtocolError(RuntimeError):
+    """The draw_jamming / commit_block pairing discipline was violated."""
+
+
+class RadioNetwork:
+    """Synchronous single-hop multi-channel radio network (paper section 3).
+
+    Parameters
+    ----------
+    n:
+        Number of honest nodes.  Node 0 is the source by library convention.
+    adversary:
+        An oblivious jammer (see :mod:`repro.adversary`); ``None`` means no
+        jamming at all.
+    seed:
+        Root seed; the per-protocol node coins are drawn from
+        ``fabric.generator("nodes")`` so that a network seed fully determines
+        the execution (the adversary carries its own stream).
+    max_slots:
+        Safety cap on the global clock.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        adversary: Optional["Adversary"] = None,
+        *,
+        seed: int = 0,
+        max_slots: int = 50_000_000,
+        listen_cost: float = 1.0,
+        send_cost: float = 1.0,
+        jam_cost: float = 1.0,
+    ):
+        if n < 2:
+            raise ValueError("broadcast needs at least two nodes (source + 1)")
+        self.n = int(n)
+        self.adversary = adversary
+        self.fabric = RandomFabric(seed)
+        self.rng = self.fabric.generator("nodes")
+        # Non-unit action costs implement the paper's footnote 1 (different
+        # constants per action change nothing structural); see EnergyLedger.
+        self.energy = EnergyLedger(
+            self.n, listen_cost=listen_cost, send_cost=send_cost, jam_cost=jam_cost
+        )
+        self.max_slots = int(max_slots)
+        self._pending_block: Optional[int] = None  # K of the drawn block
+
+    # -- clock -----------------------------------------------------------------
+    @property
+    def clock(self) -> int:
+        """Index of the next slot to be simulated."""
+        return self.energy.slots
+
+    # -- block API ---------------------------------------------------------------
+    def draw_jamming(self, block_slots: int, num_channels: int) -> JamBlock:
+        """Return Eve's jamming for the next ``K`` slots as a
+        :class:`repro.sim.jam.JamBlock` (adversaries may return dense masks
+        or JamBlocks; both are normalized here).
+
+        Charges Eve one unit per jammed channel-slot immediately.  Must be
+        followed by exactly one :meth:`commit_block` of the same length.
+        """
+        if self._pending_block is not None:
+            raise BlockProtocolError("draw_jamming called twice without commit_block")
+        K = int(block_slots)
+        C = int(num_channels)
+        if K <= 0 or C <= 0:
+            raise ValueError("block_slots and num_channels must be positive")
+        if self.adversary is None:
+            jam = JamBlock.empty(K, C)
+        else:
+            jam = JamBlock.coerce(self.adversary.jam_block(self.clock, K, C))
+            if jam.K != K or jam.C != C:
+                raise ValueError(
+                    f"adversary returned jamming for (K={jam.K}, C={jam.C}), "
+                    f"expected (K={K}, C={C})"
+                )
+        self.energy.charge_adversary(jam.total())
+        self._pending_block = K
+        return jam
+
+    def commit_block(self, actions: np.ndarray, *, slots_per_row: int = 1) -> None:
+        """Charge node energy for the block's final actions and advance time.
+
+        ``actions`` is the ``(K, n)`` int8 matrix the protocol actually
+        executed (after any tail re-resolution).  Listen and send each cost
+        one unit; idle is free.
+
+        ``slots_per_row`` supports the round-based channel-limited protocols
+        (paper Fig. 5): one action row then stands for a *round* of
+        ``slots_per_row`` physical slots in which the node acts at most once.
+        The jamming drawn for the block must cover ``K * slots_per_row``
+        physical slots.
+        """
+        if self._pending_block is None:
+            raise BlockProtocolError("commit_block called without draw_jamming")
+        if slots_per_row <= 0:
+            raise ValueError("slots_per_row must be positive")
+        K = int(actions.shape[0]) * int(slots_per_row)
+        if K != self._pending_block:
+            raise BlockProtocolError(
+                f"committed {K} physical slots but drew jamming for {self._pending_block}"
+            )
+        if actions.shape[1] != self.n:
+            raise ValueError(f"actions has {actions.shape[1]} columns, expected {self.n}")
+        listen = (actions == ACT_LISTEN).sum(axis=0)
+        send = ((actions == ACT_SEND_MSG) | (actions == ACT_SEND_BEACON)).sum(axis=0)
+        self.energy.charge_nodes(listen, send)
+        self.energy.advance(K)
+        self._pending_block = None
+        if self.energy.slots > self.max_slots:
+            raise SlotLimitExceeded(
+                f"execution exceeded max_slots={self.max_slots} "
+                f"(adversary too strong for this scale, or a termination bug)"
+            )
+
+    def abort_block(self) -> None:
+        """Discard a drawn-but-uncommitted block (used only by error paths)."""
+        self._pending_block = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RadioNetwork(n={self.n}, clock={self.clock}, adversary={self.adversary!r})"

@@ -1,0 +1,132 @@
+"""Scalar per-node runtime — the readable reference implementation.
+
+The vectorized engine (:mod:`repro.sim.engine` plus the protocol runners in
+:mod:`repro.core`) is the fast path.  This module is the slow path: one Python
+object per node, one slot per step, written to mirror the paper's pseudocode
+line by line.  It exists so tests can cross-validate the two implementations
+(same model, radically different code paths) on small instances.
+
+A node protocol implements two callbacks:
+
+* :meth:`NodeProtocol.begin_slot` — decide ``(channel, action)`` for this slot;
+* :meth:`NodeProtocol.end_slot` — observe feedback (``FB_*``; ``FB_NONE``
+  unless the node listened).
+
+:class:`ScalarNetwork` drives n protocol objects and the adversary through the
+shared channel-resolution kernel (:func:`repro.sim.channel.resolve_slot`), and
+keeps the same energy books as the fast engine.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.channel import (
+    ACT_IDLE,
+    ACT_LISTEN,
+    ACT_SEND_BEACON,
+    ACT_SEND_MSG,
+    resolve_slot,
+)
+from repro.sim.jam import JamBlock
+from repro.sim.metrics import EnergyLedger
+
+__all__ = ["NodeProtocol", "ScalarNetwork"]
+
+
+class NodeProtocol(ABC):
+    """Per-node protocol interface for the scalar runtime."""
+
+    @abstractmethod
+    def begin_slot(self, slot: int) -> Tuple[int, int]:
+        """Return ``(channel, action)`` for this slot.
+
+        ``channel`` is ignored when ``action`` is ``ACT_IDLE``.  A halted node
+        should keep returning ``(0, ACT_IDLE)``.
+        """
+
+    @abstractmethod
+    def end_slot(self, slot: int, feedback: int) -> None:
+        """Observe the slot's outcome (``FB_NONE`` unless the node listened)."""
+
+    @property
+    @abstractmethod
+    def halted(self) -> bool:
+        """True once the node has terminated."""
+
+
+class ScalarNetwork:
+    """Slot-by-slot driver for :class:`NodeProtocol` objects.
+
+    Parameters mirror :class:`repro.sim.engine.RadioNetwork`; the adversary is
+    queried one slot at a time through the same oblivious interface.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeProtocol],
+        adversary=None,
+        *,
+        max_slots: int = 1_000_000,
+    ):
+        self.nodes: List[NodeProtocol] = list(nodes)
+        if len(self.nodes) < 2:
+            raise ValueError("broadcast needs at least two nodes")
+        self.adversary = adversary
+        self.energy = EnergyLedger(len(self.nodes))
+        self.max_slots = int(max_slots)
+
+    @property
+    def clock(self) -> int:
+        return self.energy.slots
+
+    def step(self, num_channels: int) -> np.ndarray:
+        """Simulate one slot on ``num_channels`` channels; return feedback.
+
+        Supports both adversary families: oblivious jammers (the block API —
+        Eve never sees node behaviour) and reactive jammers (the adaptive
+        extension of :mod:`repro.adversary.reactive` — Eve senses which
+        channels are busy *this slot* and reacts within it).
+        """
+        n = len(self.nodes)
+        channels = np.zeros(n, dtype=np.int64)
+        actions = np.zeros(n, dtype=np.int8)
+        for u, node in enumerate(self.nodes):
+            ch, act = node.begin_slot(self.clock)
+            channels[u] = ch
+            actions[u] = act
+        if self.adversary is None:
+            jam = np.zeros(num_channels, dtype=bool)
+        elif hasattr(self.adversary, "jam_slot"):
+            sending = (actions == ACT_SEND_MSG) | (actions == ACT_SEND_BEACON)
+            busy = np.zeros(num_channels, dtype=bool)
+            busy[channels[sending]] = True
+            jam = np.asarray(self.adversary.jam_slot(self.clock, busy), dtype=bool)
+        else:
+            block = JamBlock.coerce(self.adversary.jam_block(self.clock, 1, num_channels))
+            jam = block.to_dense()[0]
+        self.energy.charge_adversary(int(jam.sum()))
+        feedback = resolve_slot(channels, actions, jam)
+        listen = (actions == ACT_LISTEN).astype(np.int64)
+        send = ((actions == ACT_SEND_MSG) | (actions == ACT_SEND_BEACON)).astype(np.int64)
+        self.energy.charge_nodes(listen, send)
+        self.energy.advance(1)
+        for u, node in enumerate(self.nodes):
+            node.end_slot(self.clock - 1, int(feedback[u]))
+        return feedback
+
+    def run(self, num_channels, until_all_halted: bool = True) -> int:
+        """Run until every node halts (or ``max_slots``); return slots used.
+
+        ``num_channels`` may be an int or a callable ``slot -> int`` for
+        protocols whose channel count varies over time (``MultiCastAdv``).
+        """
+        get_channels = num_channels if callable(num_channels) else (lambda _s: num_channels)
+        while not all(node.halted for node in self.nodes):
+            if self.clock >= self.max_slots:
+                break
+            self.step(int(get_channels(self.clock)))
+        return self.clock

@@ -1,0 +1,83 @@
+"""Deterministic random-number fabric.
+
+Every stochastic component of the library (each protocol run, each adversary,
+each trial of an experiment) draws from its own independent NumPy generator.
+Streams are spawned from a single root :class:`numpy.random.SeedSequence`, so
+
+* a run is exactly reproducible from ``(seed,)``;
+* components cannot accidentally share a stream (which would correlate the
+  adversary's coins with the honest nodes' coins and break the oblivious-
+  adversary model); and
+* trials can be spawned in parallel-safe fashion (SeedSequence spawning is
+  collision-resistant by construction).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List
+
+import numpy as np
+
+__all__ = ["RandomFabric", "derive_seed"]
+
+
+def derive_seed(root: int, *labels: object) -> int:
+    """Derive a stable 63-bit child seed from a root seed and a label path.
+
+    The derivation hashes ``root`` together with the ``repr`` of each label, so
+    ``derive_seed(7, "adversary")`` and ``derive_seed(7, "nodes")`` are
+    independent for all practical purposes, and the mapping is stable across
+    processes and Python versions (it does not use ``hash()``).
+
+    Parameters
+    ----------
+    root:
+        The experiment-level seed.
+    labels:
+        Any hashable/reprable path components, e.g. ``("trial", 3, "eve")``.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(root)).encode())
+    for label in labels:
+        h.update(b"\x1f")
+        h.update(repr(label).encode())
+    return int.from_bytes(h.digest(), "little") & (2**63 - 1)
+
+
+class RandomFabric:
+    """A hierarchy of independent, reproducible random generators.
+
+    Example
+    -------
+    >>> fabric = RandomFabric(seed=42)
+    >>> g1 = fabric.generator("nodes")
+    >>> g2 = fabric.generator("adversary")
+    >>> g1 is g2
+    False
+    >>> RandomFabric(42).generator("nodes").integers(1 << 30) == \\
+    ...     RandomFabric(42).generator("nodes").integers(1 << 30)
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def generator(self, *labels: object) -> np.random.Generator:
+        """Return the generator for a label path (same path -> same stream)."""
+        return np.random.default_rng(derive_seed(self.seed, *labels))
+
+    def child(self, *labels: object) -> "RandomFabric":
+        """Return a sub-fabric rooted at a derived seed."""
+        return RandomFabric(derive_seed(self.seed, *labels))
+
+    def spawn(self, count: int, *labels: object) -> List[np.random.Generator]:
+        """Return ``count`` independent generators under a common label path."""
+        return [self.generator(*labels, i) for i in range(count)]
+
+    def trial_seeds(self, count: int, *labels: object) -> Iterable[int]:
+        """Yield ``count`` derived integer seeds (for spawning whole trials)."""
+        return [derive_seed(self.seed, *labels, i) for i in range(count)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomFabric(seed={self.seed})"

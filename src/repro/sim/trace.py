@@ -1,0 +1,111 @@
+"""Execution tracing.
+
+Traces are optional (zero overhead when disabled) and exist for two reasons:
+
+* the epidemic-growth experiment (EXP-L4.1) needs the *informed-population
+  curve* — how many nodes know the message after each slot — which is interior
+  protocol state the result object does not expose; and
+* debugging protocol runs slot-structure-by-slot-structure (iterations for
+  ``MultiCast``; (epoch, phase, step) for ``MultiCastAdv``).
+
+Protocols emit two record kinds: *growth events* (slot, informed count) are
+appended whenever the informed set grows, and *period records* summarize one
+iteration/phase with protocol-specific fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["GrowthEvent", "PeriodRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class GrowthEvent:
+    """The informed population reached ``informed`` at (global) ``slot``."""
+
+    slot: int
+    informed: int
+
+
+@dataclass(frozen=True)
+class PeriodRecord:
+    """Summary of one protocol period (iteration, or (epoch, phase) pair)."""
+
+    kind: str  #: "iteration" or "phase"
+    index: Tuple[int, ...]  #: (i,) for iterations, (i, j) for phases
+    start_slot: int
+    end_slot: int
+    informed_after: int
+    active_after: int
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects growth events and period records for one execution.
+
+    Pass an instance as ``trace=`` to any protocol ``run()``; afterwards use
+    :meth:`informed_curve` / :attr:`periods` for analysis.
+    """
+
+    def __init__(self) -> None:
+        self.growth: List[GrowthEvent] = []
+        self.periods: List[PeriodRecord] = []
+
+    # -- writers ---------------------------------------------------------------
+    def record_growth(self, slot: int, informed: int) -> None:
+        self.growth.append(GrowthEvent(int(slot), int(informed)))
+
+    def record_period(
+        self,
+        kind: str,
+        index: Tuple[int, ...],
+        start_slot: int,
+        end_slot: int,
+        informed_after: int,
+        active_after: int,
+        **detail: Any,
+    ) -> None:
+        self.periods.append(
+            PeriodRecord(
+                kind=kind,
+                index=tuple(int(x) for x in index),
+                start_slot=int(start_slot),
+                end_slot=int(end_slot),
+                informed_after=int(informed_after),
+                active_after=int(active_after),
+                detail=dict(detail),
+            )
+        )
+
+    # -- readers ---------------------------------------------------------------
+    def informed_curve(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(slots, informed_counts)`` as step-function sample points.
+
+        The curve starts at the first recorded event (protocols record the
+        initial state ``(0, 1)`` — only the source is informed — on startup).
+        """
+        if not self.growth:
+            return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        slots = np.array([e.slot for e in self.growth], dtype=np.int64)
+        counts = np.array([e.informed for e in self.growth], dtype=np.int64)
+        return slots, counts
+
+    def slots_to_informed(self, fraction: float = 1.0) -> Optional[int]:
+        """First slot at which at least ``fraction`` of the final informed
+        population knows the message; ``None`` if never recorded."""
+        slots, counts = self.informed_curve()
+        if counts.size == 0:
+            return None
+        target = fraction * counts[-1]
+        idx = np.nonzero(counts >= target)[0]
+        return int(slots[idx[0]]) if idx.size else None
+
+    def periods_of(self, kind: str) -> List[PeriodRecord]:
+        return [p for p in self.periods if p.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.growth) + len(self.periods)

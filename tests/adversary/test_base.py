@@ -1,0 +1,125 @@
+"""Unit tests for adversary base machinery: budgets, cursor, channel specs."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.base import ObliviousJammer, resolve_channel_count
+from repro.sim.jam import JamBlock
+
+
+class GreedyJammer(ObliviousJammer):
+    """Test double: wants to jam everything, everywhere."""
+
+    def propose(self, start_slot, num_slots, num_channels):
+        return np.ones((num_slots, num_channels), dtype=bool)
+
+
+class TestBudgetEnforcement:
+    def test_spend_never_exceeds_budget(self):
+        adv = GreedyJammer(budget=25)
+        total = 0
+        for start in range(0, 100, 10):
+            total += adv.jam_block(start, 10, 3).total()
+        assert total == 25
+        assert adv.spent == 25
+
+    def test_truncation_is_time_ordered(self):
+        adv = GreedyJammer(budget=5)
+        jam = adv.jam_block(0, 3, 3).to_dense()
+        # first 5 channel-slots row-major: all of slot 0, 2 of slot 1
+        assert jam[0].sum() == 3 and jam[1].sum() == 2 and jam[2].sum() == 0
+
+    def test_broke_adversary_returns_empty(self):
+        adv = GreedyJammer(budget=3)
+        adv.jam_block(0, 5, 1)
+        jam = adv.jam_block(5, 5, 1)
+        assert jam.total() == 0
+
+    def test_unbounded_budget(self):
+        adv = GreedyJammer(budget=None)
+        assert adv.jam_block(0, 4, 4).total() == 16
+        assert adv.remaining is None
+
+    def test_zero_budget(self):
+        adv = GreedyJammer(budget=0)
+        assert adv.jam_block(0, 4, 4).total() == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            GreedyJammer(budget=-1)
+
+
+class TestCursor:
+    def test_non_contiguous_rejected(self):
+        adv = GreedyJammer(budget=10)
+        adv.jam_block(0, 5, 1)
+        with pytest.raises(RuntimeError, match="non-contiguous"):
+            adv.jam_block(9, 5, 1)
+
+    def test_reset_restores_everything(self):
+        adv = GreedyJammer(budget=10)
+        adv.jam_block(0, 5, 2)
+        adv.reset()
+        assert adv.spent == 0
+        jam = adv.jam_block(0, 5, 2)  # cursor back at 0
+        assert jam.total() == 10
+
+    def test_reset_restores_rng_stream(self):
+        from repro.adversary import BlanketJammer
+
+        adv = BlanketJammer(budget=50, channels=2, placement="random", seed=3)
+        a = adv.jam_block(0, 10, 8).to_dense()
+        adv.reset()
+        b = adv.jam_block(0, 10, 8).to_dense()
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_dimensions_rejected(self):
+        adv = GreedyJammer(budget=10)
+        with pytest.raises(ValueError):
+            adv.jam_block(0, 0, 1)
+
+
+class TestChannelSpec:
+    def test_int_is_absolute(self):
+        assert resolve_channel_count(3, 10) == 3
+
+    def test_int_clipped_to_c(self):
+        assert resolve_channel_count(30, 10) == 10
+
+    def test_fraction_rounds_up(self):
+        assert resolve_channel_count(0.25, 10) == 3  # ceil(2.5)
+
+    def test_fraction_one_is_all(self):
+        assert resolve_channel_count(1.0, 10) == 10
+
+    def test_fraction_zero_is_none(self):
+        assert resolve_channel_count(0.0, 10) == 0
+
+    def test_out_of_range_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_channel_count(1.5, 10)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_channel_count(-1, 10)
+
+
+class TestShapeValidation:
+    def test_bad_propose_shape_rejected(self):
+        class BadJammer(ObliviousJammer):
+            def propose(self, start_slot, num_slots, num_channels):
+                return np.ones((num_slots + 1, num_channels), dtype=bool)
+
+        adv = BadJammer(budget=10)
+        with pytest.raises(ValueError, match="expected"):
+            adv.jam_block(0, 4, 2)
+
+    def test_propose_may_return_jamblock(self):
+        class SparseJammer(ObliviousJammer):
+            def propose(self, start_slot, num_slots, num_channels):
+                return JamBlock.from_rows(
+                    num_slots, num_channels, np.array([0]), [np.array([0])]
+                )
+
+        adv = SparseJammer(budget=10)
+        assert adv.jam_block(0, 4, 2).total() == 1

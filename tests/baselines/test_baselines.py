@@ -1,0 +1,94 @@
+"""Tests for the baseline protocols and their documented failure modes."""
+
+import numpy as np
+import pytest
+
+from repro import BlanketJammer, MultiCast, run_broadcast
+from repro.baselines import DecayBroadcast, NaiveEpidemic, SingleChannelCompetitive
+
+
+class TestDecay:
+    def test_clean_channel_success(self):
+        ok = sum(
+            run_broadcast(DecayBroadcast(64), 64, seed=s).success for s in range(8)
+        )
+        assert ok >= 7
+
+    def test_energy_is_theta_time(self):
+        """Uninformed nodes listen every slot: the late-informed node's cost
+        is close to the full runtime."""
+        r = run_broadcast(DecayBroadcast(64), 64, seed=1)
+        assert r.node_energy.max() > 0.3 * r.slots
+
+    def test_collapses_under_cheap_jamming(self):
+        """A budget equal to Decay's entire runtime (1 channel!) blocks
+        everything — the motivating failure for resource competitiveness."""
+        proto = DecayBroadcast(64)
+        budget = proto.epochs * proto.round_slots
+        r = run_broadcast(proto, 64, adversary=BlanketJammer(budget=budget, channels=1), seed=2)
+        assert not r.success
+        assert r.halted_uninformed == 63  # only the source knows m
+
+    def test_round_structure(self):
+        proto = DecayBroadcast(64, epochs=10)
+        r = run_broadcast(proto, 64, seed=3)
+        assert r.slots == 10 * 6  # lg 64 = 6 slots per round
+
+    def test_rejects_tiny_network(self):
+        with pytest.raises(ValueError):
+            DecayBroadcast(1)
+
+
+class TestNaiveEpidemic:
+    def test_clean_channel_fast(self):
+        """p = 1 epidemic on n/2 channels disseminates in O(lg n)-ish time —
+        far faster than anything with sparse participation."""
+        r = run_broadcast(NaiveEpidemic(64), 64, seed=1)
+        assert r.success
+        assert r.dissemination_slot < 200
+
+    def test_energy_equals_time(self):
+        """Every node acts every slot: cost == slots for every node."""
+        r = run_broadcast(NaiveEpidemic(64), 64, seed=2)
+        np.testing.assert_array_equal(r.node_energy, r.slots)
+
+    def test_not_resource_competitive(self):
+        """Full blanket jamming for t slots costs each node t (vs Eve's
+        t * n/2): per-node cost tracks Eve's *time*, not sqrt(T)."""
+        T = 320_000  # blankets 32 channels for 10k slots
+        adv = BlanketJammer(budget=T, channels=1.0, seed=1)
+        r = run_broadcast(NaiveEpidemic(64), 64, adversary=adv, seed=3)
+        assert r.success
+        assert r.max_cost >= 10_000  # nodes paid the whole blackout
+
+    def test_gives_up_at_budget(self):
+        adv = BlanketJammer(budget=None, channels=1.0)
+        r = run_broadcast(NaiveEpidemic(64, max_slots_budget=5_000), 64, adversary=adv, seed=4)
+        assert not r.success
+
+    def test_oracle_overshoot_bounded(self):
+        r = run_broadcast(NaiveEpidemic(64), 64, seed=5)
+        assert r.slots <= r.dissemination_slot + 64  # one small block at most
+
+
+class TestSingleChannelCompetitive:
+    def test_is_multicast_c1(self):
+        proto = SingleChannelCompetitive(64, a=0.05)
+        assert proto.C == 1
+        assert proto.slots_per_round == 32
+
+    def test_success_and_energy_match_multicast(self):
+        """Same energy as the multi-channel protocol, ~n/2 times slower —
+        the paper's headline comparison."""
+        rs = run_broadcast(SingleChannelCompetitive(64, a=0.05), 64, seed=1)
+        rm = run_broadcast(MultiCast(64, a=0.05), 64, seed=1)
+        assert rs.success and rm.success
+        assert rs.slots == 32 * rm.slots
+        np.testing.assert_array_equal(rs.node_energy, rm.node_energy)
+
+    def test_competitive_under_jamming(self):
+        T = 100_000
+        adv = BlanketJammer(budget=T, channels=1.0, seed=1)
+        r = run_broadcast(SingleChannelCompetitive(64, a=0.05), 64, adversary=adv, seed=2)
+        assert r.success
+        assert r.max_cost < T / 10

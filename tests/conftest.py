@@ -1,0 +1,19 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomFabric
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return RandomFabric(1234).generator("test")
+
+
+def make_dense_jam(rng: np.random.Generator, K: int, C: int, p: float = 0.3) -> np.ndarray:
+    """Random dense jam mask for kernel tests."""
+    return rng.random((K, C)) < p

@@ -1,0 +1,77 @@
+"""Exactness of the Fig. 5 round simulation.
+
+The paper's claim about ``MultiCast(C)`` is that it *simulates* ``MultiCast``
+perfectly: virtual channel k = q·C + c maps to physical (sub-slot q, channel
+c), and a virtual channel is jammed iff its physical image is.  Because our
+two implementations share the node coin stream, we can test this as an exact
+equivalence: run ``MultiCastC`` against a physical jam schedule, and plain
+``MultiCast`` against the *folded* schedule — every virtual-level observable
+(energy, halt rounds, informedness) must match exactly, with physical time
+scaled by n/(2C).
+"""
+
+import numpy as np
+import pytest
+
+from repro import MultiCast, MultiCastC, ScheduleJammer, run_broadcast
+from repro.sim.rng import RandomFabric
+
+N = 16
+A = 0.05
+
+
+def physical_schedule(phys_slots, C, seed):
+    rng = RandomFabric(seed).generator("fig5")
+    return rng.random((phys_slots, C)) < 0.15
+
+
+@pytest.mark.parametrize("C", [1, 2, 4])
+def test_physical_and_virtual_runs_agree_exactly(C):
+    S = (N // 2) // C
+    phys = physical_schedule(600_000, C, seed=9)
+    # fold to virtual: physical slot r*S + q, channel c -> virtual slot r,
+    # channel q*C + c  (row-major reshape)
+    virt = phys[: (phys.shape[0] // S) * S].reshape(-1, S * C)
+
+    r_phys = run_broadcast(
+        MultiCastC(N, C, a=A), N,
+        adversary=ScheduleJammer(budget=None, schedule=phys), seed=31,
+    )
+    r_virt = run_broadcast(
+        MultiCast(N, a=A), N,
+        adversary=ScheduleJammer(budget=None, schedule=virt), seed=31,
+    )
+
+    # the simulation claim is *identity of outcomes*, success or not
+    assert r_phys.success == r_virt.success
+    # physical time is exactly S times the virtual time
+    assert r_phys.slots == S * r_virt.slots
+    # identical virtual behaviour: energy, informedness, halting structure
+    np.testing.assert_array_equal(r_phys.node_energy, r_virt.node_energy)
+    np.testing.assert_array_equal(r_phys.halt_slot, S * r_virt.halt_slot)
+    np.testing.assert_array_equal(
+        r_phys.informed_slot >= 0, r_virt.informed_slot >= 0
+    )
+    # adversary spend differs only by the schedule tail truncation
+    assert r_phys.adversary_spend == phys[: r_phys.slots].sum()
+    assert r_virt.adversary_spend == virt[: r_virt.slots].sum()
+
+
+def test_informed_slots_scale_with_rounds():
+    C = 2
+    S = (N // 2) // C
+    phys = physical_schedule(400_000, C, seed=10)
+    virt = phys.reshape(-1, S * C)
+    r_phys = run_broadcast(
+        MultiCastC(N, C, a=A), N,
+        adversary=ScheduleJammer(budget=None, schedule=phys), seed=32,
+    )
+    r_virt = run_broadcast(
+        MultiCast(N, a=A), N,
+        adversary=ScheduleJammer(budget=None, schedule=virt), seed=32,
+    )
+    # each virtual informing event lands in the same round
+    informed = r_virt.informed_slot >= 0
+    np.testing.assert_array_equal(
+        r_phys.informed_slot[informed] // S, r_virt.informed_slot[informed]
+    )

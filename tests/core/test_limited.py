@@ -1,0 +1,119 @@
+"""Tests for the channel-limited variants (paper Figs. 5/6, section 7)."""
+
+import numpy as np
+import pytest
+
+from repro import BlanketJammer, MultiCast, MultiCastAdvC, MultiCastC, run_broadcast
+from repro.core.limited import effective_channels
+
+FAST = dict(a=0.05)
+ADV_FAST = dict(alpha=0.24, b=0.01, halt_noise_divisor=50.0, helper_wait=4.0)
+
+
+class TestEffectiveChannels:
+    def test_divisor_kept(self):
+        assert effective_channels(64, 8) == 8
+
+    def test_rounded_down_to_divisor(self):
+        assert effective_channels(64, 7) == 4  # divisors of 32: ... 4, 8
+        assert effective_channels(64, 31) == 16
+
+    def test_capped_at_half_n(self):
+        assert effective_channels(64, 100) == 32
+
+    def test_one_channel_always_valid(self):
+        assert effective_channels(64, 1) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            effective_channels(5, 2)  # odd n
+        with pytest.raises(ValueError):
+            effective_channels(64, 0)
+
+
+class TestMultiCastC:
+    def test_rounds_structure(self):
+        p = MultiCastC(64, 8, **FAST)
+        assert p.C == 8
+        assert p.slots_per_round == 4  # 32 / 8
+
+    def test_full_channels_equals_multicast_time(self):
+        """C = n/2 means 1 slot per round — identical behaviour to Fig. 2."""
+        rc = run_broadcast(MultiCastC(64, 32, **FAST), 64, seed=1)
+        rm = run_broadcast(MultiCast(64, **FAST), 64, seed=1)
+        assert rc.slots == rm.slots
+        np.testing.assert_array_equal(rc.node_energy, rm.node_energy)
+
+    def test_clean_channel_success(self):
+        for C in (1, 4, 16):
+            r = run_broadcast(MultiCastC(64, C, **FAST), 64, seed=2)
+            assert r.success, f"C={C}"
+
+    def test_time_scales_inverse_c_cost_constant(self):
+        """Corollary 7.1's shape: same iteration structure means exactly
+        n/(2C) more physical slots, with per-node cost unchanged."""
+        results = {
+            C: run_broadcast(MultiCastC(64, C, **FAST), 64, seed=3) for C in (2, 8, 32)
+        }
+        assert results[2].slots == 4 * results[8].slots
+        assert results[8].slots == 4 * results[32].slots
+        # energy independent of C (same virtual coin sequence per seed)
+        np.testing.assert_array_equal(results[2].node_energy, results[8].node_energy)
+
+    def test_under_full_blanket_jam(self):
+        """Eve can blanket C channels cheaply, but the protocol outlives T."""
+        C = 4
+        adv = BlanketJammer(budget=50_000, channels=1.0, seed=1)
+        r = run_broadcast(MultiCastC(64, C, **FAST), 64, adversary=adv, seed=4)
+        assert r.success
+        assert r.adversary_spend == 50_000
+
+    def test_physical_jam_maps_to_virtual_channel(self):
+        """A jammer hitting physical channel 0 only affects virtual channels
+        congruent to 0 mod C — check via energy books that the simulation
+        still terminates and Eve was charged at physical granularity."""
+        C = 2
+        adv = BlanketJammer(budget=10_000, channels=1, seed=2)  # 1 of 2 channels
+        r = run_broadcast(MultiCastC(64, C, **FAST), 64, adversary=adv, seed=5)
+        assert r.success
+        assert r.adversary_spend == 10_000
+
+    def test_name_and_extras(self):
+        r = run_broadcast(MultiCastC(64, 8, **FAST), 64, seed=6)
+        assert r.protocol == "MultiCast(C=8)"
+        assert r.extras["physical_channels"] == 8
+        assert r.extras["slots_per_round"] == 4
+
+
+class TestMultiCastAdvC:
+    def test_constructor_mirrors_paper_naming(self):
+        p = MultiCastAdvC(8, **ADV_FAST)
+        assert p.channel_cap == 8
+        assert p.max_phase == 3
+
+    def test_rejects_channel_cap_kwarg(self):
+        with pytest.raises(TypeError):
+            MultiCastAdvC(8, channel_cap=4)
+
+    def test_success_with_cap(self):
+        r = run_broadcast(
+            MultiCastAdvC(4, **ADV_FAST), 16, seed=1, max_slots=120_000_000
+        )
+        assert r.success
+
+    def test_helpers_at_or_below_cutoff(self):
+        r = run_broadcast(
+            MultiCastAdvC(4, **ADV_FAST), 16, seed=2, max_slots=120_000_000
+        )
+        assert r.success
+        assert (r.extras["helper_phase"] <= 2).all()  # j <= lg C = 2
+
+    def test_large_cap_behaves_like_unlimited(self):
+        """C > n/2: Theorem 7.2 case one — the good phases j = lg n - 1
+        still exist, so behaviour matches plain MultiCastAdv."""
+        from repro import MultiCastAdv
+
+        r_cap = run_broadcast(
+            MultiCastAdvC(1 << 20, **ADV_FAST), 16, seed=3, max_slots=120_000_000
+        )
+        assert r_cap.success

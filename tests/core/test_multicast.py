@@ -1,0 +1,133 @@
+"""Tests for MultiCast (paper Fig. 2 / Theorem 5.4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import BlanketJammer, FractionalJammer, MultiCast, run_broadcast
+from repro.sim.trace import TraceRecorder
+
+FAST = dict(a=0.05)
+
+
+class TestParameters:
+    def test_iteration_length_formula(self):
+        p = MultiCast(n=64, a=0.01)
+        lg2 = math.log2(64) ** 2
+        assert p.iteration_length(6) == math.ceil(0.01 * 6 * 4**6 * lg2)
+        assert p.iteration_length(7) == math.ceil(0.01 * 7 * 4**7 * lg2)
+
+    def test_iteration_length_grows_4x(self):
+        p = MultiCast(n=64, a=1.0)
+        ratio = p.iteration_length(10) / p.iteration_length(9)
+        assert 4.0 < ratio < 4.6  # 4 * (i+1)/i
+
+    def test_listen_prob_halves(self):
+        p = MultiCast(n=64)
+        assert p.listen_prob(6) == 1 / 64
+        assert p.listen_prob(10) == 1 / 1024
+
+    def test_starts_at_iteration_six(self):
+        assert MultiCast(n=16).start_iteration == 6
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            MultiCast(n=2)
+        with pytest.raises(ValueError):
+            MultiCast(n=8, a=-1)
+        with pytest.raises(ValueError):
+            MultiCast(n=8, start_iteration=0)
+
+
+class TestCleanChannel:
+    def test_success_first_iteration(self):
+        """Theorem 5.4 endnote: with T = 0 everything ends in iteration one,
+        i.e. O(lg^2 n) time."""
+        r = run_broadcast(MultiCast(n=64, **FAST), 64, seed=0)
+        assert r.success
+        assert r.periods == 1
+        assert r.extras["last_iteration"] == 6
+
+    def test_success_across_seeds_and_sizes(self):
+        for n in (16, 64):
+            ok = sum(
+                run_broadcast(MultiCast(n=n, **FAST), n, seed=s).success
+                for s in range(6)
+            )
+            assert ok == 6, f"n={n}"
+
+    def test_cost_is_about_2p_R(self):
+        proto = MultiCast(n=64, **FAST)
+        r = run_broadcast(proto, 64, seed=1)
+        expected = 2 * proto.listen_prob(6) * proto.iteration_length(6)
+        assert 0.5 * expected < r.max_cost < 2.0 * expected
+
+    def test_no_t_input_needed(self):
+        """The whole point of MultiCast vs MultiCastCore: the constructor
+        takes no adversary budget."""
+        import inspect
+
+        params = inspect.signature(MultiCast.__init__).parameters
+        assert "T" not in params
+
+
+class TestUnderJamming:
+    def test_survives_heavy_blanket(self):
+        adv = BlanketJammer(budget=1_000_000, channels=0.9, placement="random", seed=1)
+        r = run_broadcast(MultiCast(n=64, **FAST), 64, adversary=adv, seed=2)
+        assert r.success
+
+    def test_iterations_extend_until_eve_broke(self):
+        """Eve blocks halting only while she can pay >= ~20% of channels for
+        ~20% of an iteration; growing iterations bankrupt her (Theorem 5.4
+        proof structure: last blocked iteration l has cost >= 0.02 n R_l)."""
+        proto = MultiCast(n=64, **FAST)
+        adv = BlanketJammer(budget=2_000_000, channels=0.9, placement="random", seed=2)
+        tr = TraceRecorder()
+        r = run_broadcast(proto, 64, adversary=adv, seed=3, trace=tr)
+        assert r.success
+        assert r.periods >= 2  # budget forces at least one extra iteration
+        iters = tr.periods_of("iteration")
+        assert iters[0].active_after == 64  # iteration 6 fully jammed
+
+    def test_sqrt_energy_vs_naive(self):
+        """Under a budget T, per-node cost must be far below T (the paper's
+        headline: O~(sqrt(T/n)))."""
+        T = 2_000_000
+        adv = BlanketJammer(budget=T, channels=0.9, placement="random", seed=4)
+        r = run_broadcast(MultiCast(n=64, **FAST), 64, adversary=adv, seed=5)
+        assert r.success
+        assert r.max_cost < T / 100  # hugely sublinear
+        assert r.adversary_spend == T
+
+    def test_fractional_jammer_cannot_stop_broadcast(self):
+        """Lemma 5.1 regime: 90% of channels for 90% of slots still lets the
+        epidemic through."""
+        adv = FractionalJammer(budget=600_000, slot_fraction=0.9, channel_fraction=0.9, seed=6)
+        r = run_broadcast(MultiCast(n=64, **FAST), 64, adversary=adv, seed=7)
+        assert r.success
+
+    def test_incomplete_when_capped(self):
+        proto = MultiCast(n=64, **FAST, max_iterations=1)
+        adv = BlanketJammer(budget=3_000_000, channels=0.9, placement="random", seed=8)
+        r = run_broadcast(proto, 64, adversary=adv, seed=9)
+        assert not r.completed
+        assert not r.success
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        adv1 = BlanketJammer(budget=300_000, channels=0.5, placement="random", seed=11)
+        adv2 = BlanketJammer(budget=300_000, channels=0.5, placement="random", seed=11)
+        r1 = run_broadcast(MultiCast(n=32, **FAST), 32, adversary=adv1, seed=12)
+        r2 = run_broadcast(MultiCast(n=32, **FAST), 32, adversary=adv2, seed=12)
+        assert r1.slots == r2.slots
+        np.testing.assert_array_equal(r1.node_energy, r2.node_energy)
+        np.testing.assert_array_equal(r1.informed_slot, r2.informed_slot)
+        np.testing.assert_array_equal(r1.halt_slot, r2.halt_slot)
+
+    def test_different_seeds_differ(self):
+        r1 = run_broadcast(MultiCast(n=32, **FAST), 32, seed=13)
+        r2 = run_broadcast(MultiCast(n=32, **FAST), 32, seed=14)
+        assert (r1.node_energy != r2.node_energy).any()

@@ -1,0 +1,143 @@
+"""Tests for MultiCastCore (paper Fig. 1 / Theorem 4.4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import BlanketJammer, FractionalJammer, FrontLoadedJammer, MultiCastCore, run_broadcast
+from repro.sim.trace import TraceRecorder
+
+FAST = dict(a=8192.0)  # default scale; iteration ~ 8192 * lg(T-hat)
+
+
+class TestParameters:
+    def test_iteration_length_formula(self):
+        p = MultiCastCore(n=64, T=1024, a=10.0)
+        assert p.iteration_slots == math.ceil(10.0 * math.log2(1024))
+
+    def test_t_hat_uses_n_when_t_small(self):
+        p = MultiCastCore(n=64, T=0, a=10.0)
+        assert p.iteration_slots == math.ceil(10.0 * math.log2(64))
+
+    def test_channel_count(self):
+        assert MultiCastCore(n=64, T=0).num_channels == 32
+
+    def test_structural_constants(self):
+        assert MultiCastCore.LISTEN_PROB == 1 / 64
+        assert MultiCastCore.NOISE_THRESHOLD == 1 / 128
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            MultiCastCore(n=2, T=0)
+        with pytest.raises(ValueError):
+            MultiCastCore(n=8, T=-1)
+        with pytest.raises(ValueError):
+            MultiCastCore(n=8, T=0, a=0)
+
+
+class TestCleanChannel:
+    def test_success_one_iteration(self):
+        r = run_broadcast(MultiCastCore(n=64, T=0, **FAST), 64, seed=0)
+        assert r.success
+        assert r.periods == 1  # no jamming: everyone halts after iteration 1
+
+    def test_success_across_seeds(self):
+        ok = sum(
+            run_broadcast(MultiCastCore(n=32, T=0, **FAST), 32, seed=s).success
+            for s in range(10)
+        )
+        assert ok >= 9
+
+    def test_all_halted_and_informed(self):
+        r = run_broadcast(MultiCastCore(n=64, T=0, **FAST), 64, seed=1)
+        assert (r.halt_slot >= 0).all()
+        assert (r.informed_slot >= 0).all()
+        assert r.halted_uninformed == 0
+
+    def test_source_is_node_zero(self):
+        r = run_broadcast(MultiCastCore(n=16, T=0, **FAST), 16, seed=2)
+        assert r.informed_slot[0] == 0
+
+    def test_energy_concentrates_at_2p_per_slot(self):
+        """Each active node acts w.p. ~2p = 1/32 per slot (listen p + send p
+        for informed nodes; uninformed pay slightly less)."""
+        r = run_broadcast(MultiCastCore(n=64, T=0, **FAST), 64, seed=3)
+        R = r.extras["iteration_slots"]
+        expected = 2 * MultiCastCore.LISTEN_PROB * R
+        assert 0.5 * expected < r.max_cost < 2.0 * expected
+
+    def test_result_metadata(self):
+        r = run_broadcast(MultiCastCore(n=16, T=100, **FAST), 16, seed=4)
+        assert r.protocol == "MultiCastCore"
+        assert r.extras["provisioned_T"] == 100
+        assert r.extras["num_channels"] == 8
+
+
+class TestUnderJamming:
+    def test_survives_ninety_percent_blanket(self):
+        """Lemma 4.1's regime: Eve jams 90% of channels every slot; the
+        epidemic still completes and no node halts uninformed."""
+        T = 100_000
+        adv = BlanketJammer(budget=T, channels=0.9, placement="random", seed=1)
+        r = run_broadcast(MultiCastCore(n=64, T=T, **FAST), 64, adversary=adv, seed=5)
+        assert r.success
+
+    def test_no_premature_halt_during_heavy_jam(self):
+        """While Eve jams 90%+ of channels, noisy-slot counts stay above the
+        threshold, so nodes do not halt in fully jammed iterations."""
+        proto = MultiCastCore(n=64, T=50_000, **FAST)
+        R = proto.iteration_slots
+        # budget covers exactly 2 iterations of 90% jamming
+        budget = int(2 * R * 0.9 * 32)
+        adv = BlanketJammer(budget=budget, channels=0.9, placement="random", seed=2)
+        tr = TraceRecorder()
+        r = run_broadcast(proto, 64, adversary=adv, seed=6, trace=tr)
+        assert r.success
+        iters = tr.periods_of("iteration")
+        # nobody halts in iterations 1-2 (jammed), everyone soon after
+        assert iters[0].active_after == 64
+        assert iters[1].active_after == 64
+        assert r.periods <= 5
+
+    def test_halts_quickly_after_eve_stops(self):
+        """Section 4 remark: once Eve goes broke, remaining nodes finish
+        within one iteration = Theta(lg T-hat) slots."""
+        T = 200_000
+        proto = MultiCastCore(n=64, T=T, **FAST)
+        adv = FrontLoadedJammer(budget=T)
+        r = run_broadcast(proto, 64, adversary=adv, seed=7)
+        assert r.success
+        blackout_slots = T // 32  # Eve jams all 32 channels until broke
+        R = proto.iteration_slots
+        # everyone halts within two iteration boundaries of the blackout end
+        assert r.last_halt_slot <= (blackout_slots // R + 2) * R
+
+    def test_violations_counted(self):
+        """With a tiny a, iterations are too short for dissemination and
+        nodes halt uninformed — the result must report it, not hide it."""
+        r = run_broadcast(MultiCastCore(n=64, T=0, a=8.0), 64, seed=8)
+        assert r.halted_uninformed > 0
+        assert not r.success
+
+    def test_time_grows_with_budget(self):
+        times = []
+        for T in (0, 400_000):
+            adv = None if T == 0 else BlanketJammer(budget=T, channels=0.9, seed=3)
+            r = run_broadcast(
+                MultiCastCore(n=64, T=max(T, 64), **FAST), 64, adversary=adv, seed=9
+            )
+            assert r.success
+            times.append(r.slots)
+        assert times[1] > times[0]
+
+
+class TestTraceIntegration:
+    def test_growth_curve_recorded(self):
+        tr = TraceRecorder()
+        r = run_broadcast(MultiCastCore(n=64, T=0, **FAST), 64, seed=10, trace=tr)
+        slots, counts = tr.informed_curve()
+        assert counts[0] == 1
+        assert counts[-1] == 64
+        assert (np.diff(counts) > 0).all()
+        assert r.dissemination_slot == slots[-1]

@@ -1,0 +1,93 @@
+"""Differential tests: pseudocode-literal scalar oracles vs. the vectorized
+engine.
+
+The two implementations share only the channel-resolution kernel; agreement
+on behavioural statistics over seeds certifies the vectorized protocol logic
+(action mapping, counters, halting rules).  RNG streams differ by design, so
+comparisons are distributional, not bitwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BlanketJammer, MultiCast, MultiCastAdv, MultiCastCore, run_broadcast
+from repro.core.reference import (
+    run_scalar_multicast,
+    run_scalar_multicast_adv,
+    run_scalar_multicast_core,
+)
+
+ADV_FAST = dict(alpha=0.24, b=0.01, halt_noise_divisor=50.0, helper_wait=4.0)
+
+
+class TestScalarMultiCastCore:
+    def test_clean_channel_success(self):
+        r = run_scalar_multicast_core(16, T=0, a=4096.0, seed=1)
+        assert r.success
+        assert r.extras["scalar_reference"]
+
+    def test_matches_vectorized_iteration_structure(self):
+        """Same parameters: both implementations halt after one iteration on
+        a clean channel, with the same iteration length."""
+        scalar = run_scalar_multicast_core(16, T=0, a=4096.0, seed=2)
+        vec = run_broadcast(MultiCastCore(n=16, T=0, a=4096.0), 16, seed=2)
+        assert scalar.success and vec.success
+        assert scalar.slots == vec.slots  # both exactly one iteration
+
+    def test_energy_distribution_agrees(self):
+        """Mean per-node cost ~ 2p * slots in both implementations."""
+        scalar = run_scalar_multicast_core(16, T=0, a=4096.0, seed=3)
+        vec = run_broadcast(MultiCastCore(n=16, T=0, a=4096.0), 16, seed=3)
+        assert abs(scalar.mean_cost - vec.mean_cost) < 0.25 * max(scalar.mean_cost, vec.mean_cost)
+
+    def test_jammed_noise_counting_agrees(self):
+        """Under a deterministic blanket jam both implementations refuse to
+        halt during the jam (noise above threshold)."""
+        T = 30_000
+        mk = lambda: BlanketJammer(budget=T, channels=1.0)
+        scalar = run_scalar_multicast_core(16, T=T, a=4096.0, adversary=mk(), seed=4)
+        vec = run_broadcast(MultiCastCore(n=16, T=T, a=4096.0), 16, adversary=mk(), seed=4)
+        assert scalar.success and vec.success
+        # blackout lasts T/8 slots on 8 channels; neither halts before that
+        blackout = T // 8
+        assert scalar.halt_slot.min() > blackout
+        assert vec.halt_slot.min() > blackout
+        assert scalar.periods == vec.periods
+
+
+class TestScalarMultiCast:
+    def test_clean_channel_success(self):
+        r = run_scalar_multicast(16, a=0.05, seed=1)
+        assert r.success
+
+    def test_matches_vectorized_first_iteration(self):
+        scalar = run_scalar_multicast(16, a=0.05, seed=2)
+        vec = run_broadcast(MultiCast(16, a=0.05), 16, seed=2)
+        assert scalar.success and vec.success
+        assert scalar.slots == vec.slots  # both end after iteration 6
+
+    def test_energy_agrees(self):
+        scalar = run_scalar_multicast(16, a=0.05, seed=3)
+        vec = run_broadcast(MultiCast(16, a=0.05), 16, seed=3)
+        assert abs(scalar.mean_cost - vec.mean_cost) < 0.25 * max(scalar.mean_cost, vec.mean_cost)
+
+
+class TestScalarMultiCastAdv:
+    def test_small_run_success(self):
+        proto = MultiCastAdv(**ADV_FAST)
+        r = run_scalar_multicast_adv(proto, 8, seed=1, max_slots=3_000_000)
+        assert r.success
+
+    def test_timetable_lockstep_with_vectorized(self):
+        """Same protocol object: scalar and vectorized halts land at the
+        same phase boundaries (timetables are deterministic)."""
+        proto = MultiCastAdv(**ADV_FAST)
+        scalar = run_scalar_multicast_adv(proto, 8, seed=2, max_slots=3_000_000)
+        vec = run_broadcast(proto, 8, seed=2, max_slots=80_000_000)
+        assert scalar.success and vec.success
+        from repro.core.schedule import multicast_adv_spans
+
+        spans = multicast_adv_spans(proto, 40)
+        boundaries = {s.end for s in spans}
+        for hs in np.concatenate([scalar.halt_slot, vec.halt_slot]):
+            assert int(hs) in boundaries

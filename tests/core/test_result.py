@@ -1,0 +1,84 @@
+"""Tests for BroadcastResult derived properties and run_broadcast."""
+
+import numpy as np
+import pytest
+
+from repro import BlanketJammer, MultiCastCore, run_broadcast
+from repro.core.result import BroadcastResult
+
+
+def make_result(**over):
+    base = dict(
+        protocol="X",
+        n=3,
+        slots=100,
+        completed=True,
+        informed_slot=np.array([0, 10, 20]),
+        halt_slot=np.array([50, 60, 70]),
+        node_energy=np.array([5, 9, 7]),
+        adversary_spend=1000,
+        halted_uninformed=0,
+        periods=2,
+    )
+    base.update(over)
+    return BroadcastResult(**base)
+
+
+class TestDerivedProperties:
+    def test_success_happy_path(self):
+        assert make_result().success
+
+    def test_success_requires_completion(self):
+        assert not make_result(completed=False).success
+
+    def test_success_requires_all_informed(self):
+        r = make_result(informed_slot=np.array([0, -1, 20]))
+        assert not r.all_informed
+        assert not r.success
+
+    def test_success_requires_no_violations(self):
+        assert not make_result(halted_uninformed=1).success
+
+    def test_max_and_mean_cost(self):
+        r = make_result()
+        assert r.max_cost == 9
+        assert r.mean_cost == 7.0
+
+    def test_dissemination_slot(self):
+        assert make_result().dissemination_slot == 20
+        assert make_result(informed_slot=np.array([0, -1, 20])).dissemination_slot is None
+
+    def test_last_halt_slot(self):
+        assert make_result().last_halt_slot == 70
+        assert make_result(halt_slot=np.array([50, -1, 70])).last_halt_slot is None
+
+    def test_competitive_ratio(self):
+        assert make_result().competitive_ratio() == 9 / 1000
+        assert make_result(adversary_spend=0).competitive_ratio() == float("inf")
+
+    def test_str_contains_key_facts(self):
+        s = str(make_result())
+        assert "X" in s and "slots=100" in s
+
+
+class TestRunBroadcast:
+    def test_resets_adversary_between_runs(self):
+        adv = BlanketJammer(budget=1000, channels=1.0)
+        r1 = run_broadcast(MultiCastCore(n=8, T=1000, a=512.0), 8, adversary=adv, seed=1)
+        r2 = run_broadcast(MultiCastCore(n=8, T=1000, a=512.0), 8, adversary=adv, seed=1)
+        assert r1.adversary_spend == r2.adversary_spend == 1000
+
+    def test_network_protocol_size_mismatch(self):
+        with pytest.raises(ValueError, match="network has n="):
+            run_broadcast(MultiCastCore(n=8, T=0), 16, seed=0)
+
+    def test_max_slots_truncates_gracefully(self):
+        # Unbounded jammer (no budget cap) blocks forever; the run must
+        # return an incomplete result instead of hanging.
+        adv = BlanketJammer(budget=None, channels=1.0)
+        r = run_broadcast(
+            MultiCastCore(n=8, T=64, a=256.0), 8, adversary=adv, seed=1, max_slots=20_000
+        )
+        assert not r.completed
+        assert not r.success
+        assert r.slots >= 20_000

@@ -1,0 +1,130 @@
+"""Tests for the protocol timetables — and that they match real executions.
+
+The PhaseTargetedJammer relies on the timetable being *exactly* right, so the
+strongest test here cross-checks computed spans against the slot boundaries a
+traced execution actually produced.
+"""
+
+import pytest
+
+from repro import MultiCast, MultiCastAdv, MultiCastC, MultiCastCore, run_broadcast
+from repro.core.schedule import (
+    multicast_adv_spans,
+    multicast_core_spans,
+    multicast_spans,
+    phase_intervals,
+)
+from repro.sim.trace import TraceRecorder
+
+ADV_FAST = dict(alpha=0.24, b=0.01, halt_noise_divisor=50.0, helper_wait=4.0)
+
+
+class TestSpanArithmetic:
+    def test_core_spans_contiguous(self):
+        proto = MultiCastCore(n=16, T=1000, a=100.0)
+        spans = multicast_core_spans(proto, 5)
+        assert spans[0].start == 0
+        for a, b in zip(spans, spans[1:]):
+            assert a.end == b.start
+        assert all(s.end - s.start == proto.iteration_slots for s in spans)
+
+    def test_multicast_spans_grow(self):
+        proto = MultiCast(n=64, a=0.05)
+        spans = multicast_spans(proto, 4)
+        lengths = [s.end - s.start for s in spans]
+        assert lengths == [proto.iteration_length(i) for i in range(6, 10)]
+        assert spans[0].p == 1 / 64
+
+    def test_multicast_c_spans_scaled_physically(self):
+        proto = MultiCastC(64, 8, a=0.05)
+        spans = multicast_spans(proto, 3)
+        assert spans[0].end - spans[0].start == proto.iteration_length(6) * 4
+        assert spans[0].num_channels == 8
+
+    def test_adv_spans_lattice(self):
+        proto = MultiCastAdv(**ADV_FAST)
+        spans = multicast_adv_spans(proto, 4)
+        # epochs 1..4 have 1, 2, 3, 4 phases
+        assert [(s.epoch, s.phase) for s in spans] == [
+            (1, 0), (2, 0), (2, 1), (3, 0), (3, 1), (3, 2),
+            (4, 0), (4, 1), (4, 2), (4, 3),
+        ]
+        for s in spans:
+            assert s.step_boundary - s.start == s.R
+            assert s.end - s.step_boundary == s.R
+            assert s.num_channels == 2**s.phase
+
+    def test_adv_spans_respect_channel_cap(self):
+        proto = MultiCastAdv(channel_cap=4, **ADV_FAST)
+        spans = multicast_adv_spans(proto, 6)
+        assert max(s.phase for s in spans) == 2
+
+
+class TestPhaseIntervals:
+    def test_filter_by_phase(self):
+        proto = MultiCastAdv(**ADV_FAST)
+        spans = multicast_adv_spans(proto, 6)
+        ivals = phase_intervals(spans, phase=2)
+        assert len(ivals) == 4  # epochs 3, 4, 5, 6
+        for (lo, hi), s in zip(ivals, [x for x in spans if x.phase == 2]):
+            assert (lo, hi) == (s.start, s.end)
+
+    def test_filter_by_step(self):
+        proto = MultiCastAdv(**ADV_FAST)
+        spans = multicast_adv_spans(proto, 3)
+        step1 = phase_intervals(spans, phase=0, step=1)
+        step2 = phase_intervals(spans, phase=0, step=2)
+        for (a1, b1), (a2, b2) in zip(step1, step2):
+            assert b1 == a2 and b1 - a1 == b2 - a2
+
+    def test_predicate_filter(self):
+        proto = MultiCastAdv(**ADV_FAST)
+        spans = multicast_adv_spans(proto, 6)
+        late = phase_intervals(spans, predicate=lambda s: s.epoch >= 5)
+        assert all(lo >= spans[0].end for lo, hi in late)
+
+    def test_invalid_step(self):
+        proto = MultiCastAdv(**ADV_FAST)
+        spans = multicast_adv_spans(proto, 2)
+        with pytest.raises(ValueError):
+            phase_intervals(spans, step=3)
+
+
+class TestTimetableMatchesExecution:
+    """The computed spans must coincide with traced period boundaries."""
+
+    def test_multicast_core(self):
+        proto = MultiCastCore(n=16, T=0, a=2048.0)
+        tr = TraceRecorder()
+        r = run_broadcast(proto, 16, seed=1, trace=tr)
+        spans = multicast_core_spans(proto, r.periods)
+        for span, period in zip(spans, tr.periods_of("iteration")):
+            assert (span.start, span.end) == (period.start_slot, period.end_slot)
+
+    def test_multicast(self):
+        proto = MultiCast(n=16, a=0.05)
+        tr = TraceRecorder()
+        r = run_broadcast(proto, 16, seed=2, trace=tr)
+        spans = multicast_spans(proto, r.periods)
+        for span, period in zip(spans, tr.periods_of("iteration")):
+            assert (span.start, span.end) == (period.start_slot, period.end_slot)
+            assert span.index == period.index[0]
+
+    def test_multicast_adv(self):
+        proto = MultiCastAdv(max_epochs=6, **ADV_FAST)
+        tr = TraceRecorder()
+        r = run_broadcast(proto, 8, seed=3, trace=tr, max_slots=80_000_000)
+        spans = multicast_adv_spans(proto, 6)
+        periods = tr.periods_of("phase")
+        assert len(spans) == len(periods)
+        for span, period in zip(spans, periods):
+            assert (span.epoch, span.phase) == period.index
+            assert (span.start, span.end) == (period.start_slot, period.end_slot)
+
+    def test_multicast_c(self):
+        proto = MultiCastC(16, 2, a=0.05)
+        tr = TraceRecorder()
+        r = run_broadcast(proto, 16, seed=4, trace=tr)
+        spans = multicast_spans(proto, r.periods)
+        for span, period in zip(spans, tr.periods_of("iteration")):
+            assert (span.start, span.end) == (period.start_slot, period.end_slot)

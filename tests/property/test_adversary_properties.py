@@ -1,0 +1,96 @@
+"""Property-based tests for adversary budget accounting.
+
+The central model invariant: no strategy, under any (block-size sequence,
+channel-count sequence), ever spends more than its budget — and the ledger's
+view of the spend always matches the strategy's own.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import (
+    BlanketJammer,
+    FractionalJammer,
+    FrontLoadedJammer,
+    PeriodicBurstJammer,
+    PhaseTargetedJammer,
+    RandomJammer,
+    SweepJammer,
+)
+
+STRATEGY_FACTORIES = [
+    lambda budget, seed: BlanketJammer(budget, channels=0.7, placement="random", seed=seed),
+    lambda budget, seed: BlanketJammer(budget, channels=2, placement="prefix", seed=seed),
+    lambda budget, seed: FractionalJammer(budget, 0.6, 0.5, seed=seed),
+    lambda budget, seed: FrontLoadedJammer(budget),
+    lambda budget, seed: PeriodicBurstJammer(budget, period=7, burst=3, channels=0.9, seed=seed),
+    lambda budget, seed: SweepJammer(budget, width=3, seed=seed),
+    lambda budget, seed: RandomJammer(budget, 0.4, seed=seed),
+    lambda budget, seed: PhaseTargetedJammer(
+        budget, [(5, 40), (60, 90)], channel_fraction=0.8, seed=seed
+    ),
+]
+
+
+@st.composite
+def schedules(draw):
+    """A random sequence of (block length, channel count) calls."""
+    blocks = draw(
+        st.lists(
+            st.tuples(st.integers(1, 40), st.integers(1, 12)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    budget = draw(st.integers(0, 300))
+    seed = draw(st.integers(0, 2**31 - 1))
+    idx = draw(st.integers(0, len(STRATEGY_FACTORIES) - 1))
+    return blocks, budget, seed, idx
+
+
+@given(schedules())
+@settings(max_examples=150, deadline=None)
+def test_spend_never_exceeds_budget(case):
+    blocks, budget, seed, idx = case
+    adv = STRATEGY_FACTORIES[idx](budget, seed)
+    total = 0
+    start = 0
+    for K, C in blocks:
+        jam = adv.jam_block(start, K, C)
+        assert jam.K == K and jam.C == C
+        total += jam.total()
+        start += K
+    assert total <= budget
+    assert adv.spent == total
+
+
+@given(schedules())
+@settings(max_examples=60, deadline=None)
+def test_reset_replays_identically(case):
+    blocks, budget, seed, idx = case
+    adv = STRATEGY_FACTORIES[idx](budget, seed)
+    first = []
+    start = 0
+    for K, C in blocks:
+        first.append(adv.jam_block(start, K, C).to_dense())
+        start += K
+    adv.reset()
+    start = 0
+    for (K, C), before in zip(blocks, first):
+        np.testing.assert_array_equal(adv.jam_block(start, K, C).to_dense(), before)
+        start += K
+
+
+@given(schedules())
+@settings(max_examples=60, deadline=None)
+def test_channels_within_range(case):
+    blocks, budget, seed, idx = case
+    adv = STRATEGY_FACTORIES[idx](max(budget, 1), seed)
+    start = 0
+    for K, C in blocks:
+        jam = adv.jam_block(start, K, C)
+        if jam.total():
+            assert jam.channels.min() >= 0
+            assert jam.channels.max() < C
+        start += K

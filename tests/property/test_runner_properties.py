@@ -1,0 +1,103 @@
+"""Property-based tests for the spread_block event loop.
+
+The event loop's correctness contract: its output must equal a slot-by-slot
+simulation in which statuses update between consecutive slots.  We check that
+directly against a scalar oracle built on resolve_block with K = 1.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runner import (
+    adv_step_one_actions,
+    shared_coin_actions,
+    spread_block,
+)
+from repro.sim.channel import ACT_LISTEN, FB_MSG, resolve_block
+from repro.sim.jam import JamBlock
+
+
+@st.composite
+def scenarios(draw):
+    K = draw(st.integers(1, 20))
+    n = draw(st.integers(2, 8))
+    C = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 2**31 - 1))
+    p = draw(st.sampled_from([0.1, 0.25, 0.5]))
+    jam_p = draw(st.floats(0.0, 0.6))
+    rule = draw(st.sampled_from(["shared", "step1"]))
+    rng = np.random.default_rng(seed)
+    channels = rng.integers(0, C, size=(K, n))
+    coins = rng.random((K, n))
+    jam = rng.random((K, C)) < jam_p
+    informed = rng.random(n) < 0.4
+    informed[0] = True
+    active = rng.random(n) < 0.9
+    return channels, coins, jam, informed, active, p, rule
+
+
+def oracle(channels, coins, jam, informed, active, build):
+    """Slot-by-slot reference: statuses update between slots."""
+    K, n = coins.shape
+    informed = informed.copy()
+    actions_all = np.zeros((K, n), dtype=np.int8)
+    fb_all = np.full((K, n), -1, dtype=np.int8)
+    for t in range(K):
+        acts = build(coins[t : t + 1], informed, active)
+        fb = resolve_block(channels[t : t + 1], acts, jam[t : t + 1])
+        actions_all[t] = acts[0]
+        fb_all[t] = fb[0]
+        newly = (fb[0] == FB_MSG) & ~informed & active
+        informed |= newly
+    return actions_all, fb_all, informed
+
+
+@given(scenarios())
+@settings(max_examples=150, deadline=None)
+def test_spread_block_matches_slotwise_oracle(case):
+    channels, coins, jam, informed, active, p, rule = case
+    build = shared_coin_actions(p) if rule == "shared" else adv_step_one_actions(p)
+    out = spread_block(channels, coins, jam, informed, active, build)
+    o_actions, o_fb, o_informed = oracle(channels, coins, jam, informed, active, build)
+    np.testing.assert_array_equal(out.informed, o_informed)
+    np.testing.assert_array_equal(out.actions, o_actions)
+    np.testing.assert_array_equal(out.feedback, o_fb)
+
+
+@given(scenarios())
+@settings(max_examples=80, deadline=None)
+def test_informed_set_monotone(case):
+    channels, coins, jam, informed, active, p, rule = case
+    build = shared_coin_actions(p) if rule == "shared" else adv_step_one_actions(p)
+    out = spread_block(channels, coins, jam, informed, active, build)
+    assert (out.informed | informed == out.informed).all()  # superset
+
+
+@given(scenarios())
+@settings(max_examples=80, deadline=None)
+def test_inactive_nodes_never_act_or_learn(case):
+    channels, coins, jam, informed, active, p, rule = case
+    build = shared_coin_actions(p) if rule == "shared" else adv_step_one_actions(p)
+    out = spread_block(channels, coins, jam, informed, active, build)
+    assert (out.actions[:, ~active] == 0).all()
+    np.testing.assert_array_equal(out.informed[~active], informed[~active])
+
+
+@given(scenarios())
+@settings(max_examples=80, deadline=None)
+def test_informed_slot_records_first_hearing(case):
+    channels, coins, jam, informed, active, p, rule = case
+    build = shared_coin_actions(p) if rule == "shared" else adv_step_one_actions(p)
+    informed_slot = np.full(informed.shape, -1, dtype=np.int64)
+    out = spread_block(
+        channels, coins, jam, informed, active, build,
+        slot0=0, informed_slot=informed_slot,
+    )
+    newly = out.informed & ~informed
+    # every newly informed node has a recorded slot, at which it was listening
+    assert (informed_slot[newly] >= 0).all()
+    for u in np.nonzero(newly)[0]:
+        t = informed_slot[u]
+        assert out.feedback[t, u] == FB_MSG
+        assert out.actions[t, u] == ACT_LISTEN

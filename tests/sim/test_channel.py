@@ -1,0 +1,184 @@
+"""Unit tests for the channel-contention kernel (paper section 3 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.channel import (
+    ACT_IDLE,
+    ACT_LISTEN,
+    ACT_SEND_BEACON,
+    ACT_SEND_MSG,
+    FB_BEACON,
+    FB_MSG,
+    FB_NOISE,
+    FB_NONE,
+    FB_SILENCE,
+    resolve_block,
+    resolve_slot,
+)
+from repro.sim.jam import JamBlock
+
+
+def slot(channels, actions, jammed):
+    return resolve_slot(
+        np.array(channels), np.array(actions, dtype=np.int8), np.array(jammed, dtype=bool)
+    )
+
+
+class TestSingleSlotSemantics:
+    def test_silence_on_empty_channel(self):
+        fb = slot([0, 1], [ACT_LISTEN, ACT_IDLE], [False, False])
+        assert fb[0] == FB_SILENCE
+
+    def test_single_broadcaster_delivers(self):
+        fb = slot([0, 0], [ACT_SEND_MSG, ACT_LISTEN], [False])
+        assert fb[1] == FB_MSG
+
+    def test_beacon_delivers_as_beacon(self):
+        fb = slot([0, 0], [ACT_SEND_BEACON, ACT_LISTEN], [False])
+        assert fb[1] == FB_BEACON
+
+    def test_two_broadcasters_collide(self):
+        fb = slot([0, 0, 0], [ACT_SEND_MSG, ACT_SEND_MSG, ACT_LISTEN], [False])
+        assert fb[2] == FB_NOISE
+
+    def test_msg_beacon_collision_is_noise(self):
+        fb = slot([0, 0, 0], [ACT_SEND_MSG, ACT_SEND_BEACON, ACT_LISTEN], [False])
+        assert fb[2] == FB_NOISE
+
+    def test_jamming_is_noise(self):
+        fb = slot([0, 0], [ACT_SEND_MSG, ACT_LISTEN], [True])
+        assert fb[1] == FB_NOISE
+
+    def test_jammed_empty_channel_is_noise_not_silence(self):
+        """Nodes cannot distinguish a jammed-idle channel from a collision."""
+        fb = slot([0, 1], [ACT_LISTEN, ACT_IDLE], [True, False])
+        assert fb[0] == FB_NOISE
+
+    def test_broadcaster_gets_no_feedback(self):
+        fb = slot([0, 0], [ACT_SEND_MSG, ACT_LISTEN], [False])
+        assert fb[0] == FB_NONE
+
+    def test_idle_gets_no_feedback(self):
+        fb = slot([0, 0], [ACT_IDLE, ACT_SEND_MSG], [False])
+        assert fb[0] == FB_NONE
+
+    def test_channels_are_independent(self):
+        # sender on ch0, listener on ch1 hears silence, listener on ch0 hears m
+        fb = slot([0, 1, 0], [ACT_SEND_MSG, ACT_LISTEN, ACT_LISTEN], [False, False])
+        assert fb[1] == FB_SILENCE
+        assert fb[2] == FB_MSG
+
+    def test_jam_on_other_channel_irrelevant(self):
+        fb = slot([0, 0], [ACT_SEND_MSG, ACT_LISTEN], [False, True])
+        assert fb[1] == FB_MSG
+
+    def test_multiple_listeners_same_channel_all_hear(self):
+        fb = slot([0, 0, 0, 0], [ACT_SEND_MSG, ACT_LISTEN, ACT_LISTEN, ACT_LISTEN], [False])
+        assert fb[1] == fb[2] == fb[3] == FB_MSG
+
+    def test_listeners_do_not_collide(self):
+        """Listening does not occupy the channel — two listeners both hear m."""
+        fb = slot([0, 0, 0], [ACT_LISTEN, ACT_LISTEN, ACT_SEND_MSG], [False])
+        assert fb[0] == FB_MSG and fb[1] == FB_MSG
+
+
+class TestBlockResolution:
+    def test_block_rows_independent(self, rng):
+        # slot 0: delivery; slot 1: collision; slot 2: jam
+        channels = np.zeros((3, 2), dtype=np.int64)
+        actions = np.array(
+            [
+                [ACT_SEND_MSG, ACT_LISTEN],
+                [ACT_SEND_MSG, ACT_SEND_MSG],
+                [ACT_SEND_MSG, ACT_LISTEN],
+            ],
+            dtype=np.int8,
+        )
+        jam = np.array([[False], [False], [True]])
+        fb = resolve_block(channels, actions, jam)
+        assert fb[0, 1] == FB_MSG
+        assert fb[1, 0] == FB_NONE and fb[1, 1] == FB_NONE
+        assert fb[2, 1] == FB_NOISE
+
+    def test_check_flag_validates_channel_range(self):
+        channels = np.array([[5]])
+        actions = np.array([[ACT_LISTEN]], dtype=np.int8)
+        jam = np.zeros((1, 2), dtype=bool)
+        with pytest.raises(ValueError, match="channel index"):
+            resolve_block(channels, actions, jam, check=True)
+
+    def test_check_flag_validates_action_codes(self):
+        channels = np.zeros((1, 1), dtype=np.int64)
+        actions = np.array([[9]], dtype=np.int8)
+        jam = np.zeros((1, 2), dtype=bool)
+        with pytest.raises(ValueError, match="invalid action"):
+            resolve_block(channels, actions, jam, check=True)
+
+    def test_idle_channel_value_ignored(self):
+        """Idle nodes' channel entries may be garbage without effect."""
+        channels = np.array([[999_999, 0, 0]])
+        actions = np.array([[ACT_IDLE, ACT_SEND_MSG, ACT_LISTEN]], dtype=np.int8)
+        jam = np.zeros((1, 4), dtype=bool)
+        fb = resolve_block(channels, actions, jam)
+        assert fb[0, 2] == FB_MSG
+
+    def test_accepts_jamblock_input(self):
+        channels = np.zeros((2, 2), dtype=np.int64)
+        actions = np.array(
+            [[ACT_SEND_MSG, ACT_LISTEN], [ACT_SEND_MSG, ACT_LISTEN]], dtype=np.int8
+        )
+        jam = JamBlock.from_dense(np.array([[True], [False]]))
+        fb = resolve_block(channels, actions, jam)
+        assert fb[0, 1] == FB_NOISE
+        assert fb[1, 1] == FB_MSG
+
+
+class TestDenseSparseEquivalence:
+    """The two resolution paths must agree exactly (they are separately
+    implemented; this is the contract that lets the sparse path exist)."""
+
+    def _random_case(self, rng, K, n, C, jam_p):
+        channels = rng.integers(0, C, size=(K, n))
+        actions = rng.choice(
+            np.array([ACT_IDLE, ACT_LISTEN, ACT_SEND_MSG, ACT_SEND_BEACON], dtype=np.int8),
+            size=(K, n),
+        )
+        jam = rng.random((K, C)) < jam_p
+        return channels, actions, jam
+
+    @pytest.mark.parametrize("case", range(8))
+    def test_equivalence_random_cases(self, rng, case):
+        from repro.sim.channel import _resolve_dense, _resolve_sparse
+
+        K, n, C = 16, 9, 5
+        channels, actions, jam = self._random_case(rng, K, n, C, 0.3)
+        dense = _resolve_dense(channels, actions, jam)
+        sparse = _resolve_sparse(channels, actions, JamBlock.from_dense(jam))
+        np.testing.assert_array_equal(dense, sparse)
+
+    def test_sparse_path_used_for_huge_c(self):
+        """Huge channel counts must resolve without materializing (K, C)."""
+        C = 1 << 30
+        K, n = 4, 6
+        channels = np.array([[0, 0, 1, C - 1, C - 1, 5]] * K, dtype=np.int64)
+        actions = np.tile(
+            np.array(
+                [ACT_SEND_MSG, ACT_LISTEN, ACT_LISTEN, ACT_SEND_MSG, ACT_LISTEN, ACT_IDLE],
+                dtype=np.int8,
+            ),
+            (K, 1),
+        )
+        jam = JamBlock.empty(K, C)
+        fb = resolve_block(channels, actions, jam)
+        assert (fb[:, 1] == FB_MSG).all()  # lone sender on channel 0
+        assert (fb[:, 2] == FB_SILENCE).all()  # nobody on channel 1
+        assert (fb[:, 4] == FB_MSG).all()  # lone sender on channel C-1
+        assert (fb[:, 5] == FB_NONE).all()  # idle node
+
+    def test_sparse_path_single_sender_on_high_channel(self):
+        C = 1 << 30
+        channels = np.array([[C - 1, C - 1]], dtype=np.int64)
+        actions = np.array([[ACT_SEND_MSG, ACT_LISTEN]], dtype=np.int8)
+        fb = resolve_block(channels, actions, JamBlock.empty(1, C))
+        assert fb[0, 1] == FB_MSG

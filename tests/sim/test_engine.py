@@ -1,0 +1,127 @@
+"""Unit tests for the RadioNetwork engine (draw/commit discipline, books)."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import BlanketJammer, NoJammer
+from repro.sim.channel import ACT_IDLE, ACT_LISTEN, ACT_SEND_MSG
+from repro.sim.engine import BlockProtocolError, RadioNetwork, SlotLimitExceeded
+from repro.sim.jam import JamBlock
+
+
+def idle_actions(K, n):
+    return np.zeros((K, n), dtype=np.int8)
+
+
+class TestBlockDiscipline:
+    def test_draw_then_commit_advances_clock(self):
+        net = RadioNetwork(4)
+        net.draw_jamming(10, 2)
+        net.commit_block(idle_actions(10, 4))
+        assert net.clock == 10
+
+    def test_double_draw_rejected(self):
+        net = RadioNetwork(4)
+        net.draw_jamming(5, 2)
+        with pytest.raises(BlockProtocolError):
+            net.draw_jamming(5, 2)
+
+    def test_commit_without_draw_rejected(self):
+        net = RadioNetwork(4)
+        with pytest.raises(BlockProtocolError):
+            net.commit_block(idle_actions(5, 4))
+
+    def test_commit_length_mismatch_rejected(self):
+        net = RadioNetwork(4)
+        net.draw_jamming(5, 2)
+        with pytest.raises(BlockProtocolError):
+            net.commit_block(idle_actions(4, 4))
+
+    def test_commit_wrong_node_count_rejected(self):
+        net = RadioNetwork(4)
+        net.draw_jamming(5, 2)
+        with pytest.raises(ValueError):
+            net.commit_block(idle_actions(5, 3))
+
+    def test_slots_per_row_scaling(self):
+        net = RadioNetwork(4)
+        net.draw_jamming(12, 2)  # 12 physical slots
+        net.commit_block(idle_actions(3, 4), slots_per_row=4)  # 3 rounds of 4
+        assert net.clock == 12
+
+    def test_abort_block_clears_pending(self):
+        net = RadioNetwork(4)
+        net.draw_jamming(5, 2)
+        net.abort_block()
+        net.draw_jamming(5, 2)  # allowed again
+        net.commit_block(idle_actions(5, 4))
+
+    def test_invalid_block_dimensions(self):
+        net = RadioNetwork(4)
+        with pytest.raises(ValueError):
+            net.draw_jamming(0, 2)
+        with pytest.raises(ValueError):
+            net.draw_jamming(2, 0)
+
+
+class TestAccounting:
+    def test_node_energy_from_actions(self):
+        net = RadioNetwork(3)
+        net.draw_jamming(4, 2)
+        actions = np.array(
+            [
+                [ACT_LISTEN, ACT_SEND_MSG, ACT_IDLE],
+                [ACT_LISTEN, ACT_IDLE, ACT_IDLE],
+                [ACT_IDLE, ACT_SEND_MSG, ACT_IDLE],
+                [ACT_LISTEN, ACT_SEND_MSG, ACT_IDLE],
+            ],
+            dtype=np.int8,
+        )
+        net.commit_block(actions)
+        np.testing.assert_array_equal(net.energy.node_cost, [3, 3, 0])
+        np.testing.assert_array_equal(net.energy.listen_slots, [3, 0, 0])
+        np.testing.assert_array_equal(net.energy.send_slots, [0, 3, 0])
+
+    def test_adversary_charged_on_draw(self):
+        adv = BlanketJammer(budget=100, channels=2)
+        adv.reset()
+        net = RadioNetwork(4, adv)
+        net.draw_jamming(10, 4)
+        assert net.energy.adversary_spend == 20  # 2 channels x 10 slots
+        net.commit_block(idle_actions(10, 4))
+
+    def test_adversary_budget_exactly_respected(self):
+        adv = BlanketJammer(budget=15, channels=2)
+        adv.reset()
+        net = RadioNetwork(4, adv)
+        net.draw_jamming(10, 4)
+        net.commit_block(idle_actions(10, 4))
+        net.draw_jamming(10, 4)
+        net.commit_block(idle_actions(10, 4))
+        assert net.energy.adversary_spend == 15
+
+    def test_no_adversary_means_empty_jam(self):
+        net = RadioNetwork(4)
+        jam = net.draw_jamming(8, 3)
+        assert isinstance(jam, JamBlock)
+        assert jam.total() == 0
+        net.commit_block(idle_actions(8, 4))
+
+
+class TestLimits:
+    def test_max_slots_enforced(self):
+        net = RadioNetwork(4, max_slots=12)
+        net.draw_jamming(10, 2)
+        net.commit_block(idle_actions(10, 4))
+        net.draw_jamming(10, 2)
+        with pytest.raises(SlotLimitExceeded):
+            net.commit_block(idle_actions(10, 4))
+
+    def test_min_network_size(self):
+        with pytest.raises(ValueError):
+            RadioNetwork(1)
+
+    def test_seed_determines_node_stream(self):
+        a = RadioNetwork(4, seed=5).rng.integers(1 << 30, size=8)
+        b = RadioNetwork(4, seed=5).rng.integers(1 << 30, size=8)
+        assert (a == b).all()

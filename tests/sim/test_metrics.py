@@ -1,0 +1,59 @@
+"""Unit tests for energy/time accounting."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import CostSummary, EnergyLedger
+
+
+class TestEnergyLedger:
+    def test_initial_state(self):
+        led = EnergyLedger(4)
+        assert led.slots == 0
+        assert led.adversary_spend == 0
+        assert led.max_node_cost == 0
+
+    def test_rejects_empty_network(self):
+        with pytest.raises(ValueError):
+            EnergyLedger(0)
+
+    def test_charge_nodes_accumulates(self):
+        led = EnergyLedger(3)
+        led.charge_nodes(np.array([1, 0, 2]), np.array([0, 3, 1]))
+        led.charge_nodes(np.array([1, 1, 1]), np.array([0, 0, 0]))
+        np.testing.assert_array_equal(led.listen_slots, [2, 1, 3])
+        np.testing.assert_array_equal(led.send_slots, [0, 3, 1])
+        np.testing.assert_array_equal(led.node_cost, [2, 4, 4])
+
+    def test_max_and_mean(self):
+        led = EnergyLedger(2)
+        led.charge_nodes(np.array([5, 1]), np.array([0, 2]))
+        assert led.max_node_cost == 5
+        assert led.mean_node_cost == 4.0
+
+    def test_adversary_and_clock(self):
+        led = EnergyLedger(2)
+        led.charge_adversary(7)
+        led.charge_adversary(3)
+        led.advance(100)
+        assert led.adversary_spend == 10
+        assert led.slots == 100
+
+    def test_summary(self):
+        led = EnergyLedger(2)
+        led.charge_nodes(np.array([2, 4]), np.array([1, 1]))
+        led.charge_adversary(6)
+        led.advance(10)
+        s = led.summary()
+        assert s == CostSummary(
+            slots=10,
+            max_node_cost=5.0,
+            mean_node_cost=4.0,
+            total_node_cost=8.0,
+            adversary_cost=6.0,
+        )
+        assert s.competitive_ratio == 5.0 / 6.0
+
+    def test_competitive_ratio_infinite_without_adversary(self):
+        s = CostSummary(1, 1.0, 1.0, 1.0, 0.0)
+        assert s.competitive_ratio == float("inf")

@@ -1,0 +1,101 @@
+"""Tests for the scalar per-node runtime."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import BlanketJammer
+from repro.sim.channel import ACT_IDLE, ACT_LISTEN, ACT_SEND_MSG, FB_MSG, FB_SILENCE
+from repro.sim.node import NodeProtocol, ScalarNetwork
+
+
+class Beacon(NodeProtocol):
+    """Broadcasts every slot until told to stop."""
+
+    def __init__(self, slots):
+        self.left = slots
+
+    def begin_slot(self, slot):
+        if self.left > 0:
+            return 0, ACT_SEND_MSG
+        return 0, ACT_IDLE
+
+    def end_slot(self, slot, feedback):
+        self.left -= 1
+
+    @property
+    def halted(self):
+        return self.left <= 0
+
+
+class Listener(NodeProtocol):
+    """Listens until it hears the message."""
+
+    def __init__(self):
+        self.heard_at = None
+        self.feedbacks = []
+
+    def begin_slot(self, slot):
+        return (0, ACT_IDLE) if self.halted else (0, ACT_LISTEN)
+
+    def end_slot(self, slot, feedback):
+        self.feedbacks.append(feedback)
+        if feedback == FB_MSG and self.heard_at is None:
+            self.heard_at = slot
+
+    @property
+    def halted(self):
+        return self.heard_at is not None
+
+
+class TestScalarNetwork:
+    def test_delivery_and_halting(self):
+        nodes = [Beacon(3), Listener()]
+        net = ScalarNetwork(nodes)
+        slots = net.run(1)
+        assert nodes[1].heard_at == 0
+        assert slots <= 3
+
+    def test_energy_accounting(self):
+        nodes = [Beacon(2), Listener()]
+        net = ScalarNetwork(nodes)
+        net.run(1)
+        assert net.energy.send_slots[0] >= 1
+        assert net.energy.listen_slots[1] == 1
+
+    def test_adversary_integration(self):
+        adv = BlanketJammer(budget=2, channels=1)
+        adv.reset()
+        listener = Listener()
+        nodes = [Beacon(5), listener]
+        net = ScalarNetwork(nodes, adv)
+        net.run(1)
+        # first two slots jammed -> noise; delivery at slot 2
+        assert listener.heard_at == 2
+        assert net.energy.adversary_spend == 2
+
+    def test_max_slots_cap(self):
+        nodes = [Listener(), Listener()]  # nobody ever sends; never halt
+        net = ScalarNetwork(nodes, max_slots=50)
+        slots = net.run(1)
+        assert slots == 50
+
+    def test_callable_channel_count(self):
+        nodes = [Beacon(4), Listener()]
+        net = ScalarNetwork(nodes)
+        net.run(lambda slot: 1 + slot % 2)
+        assert nodes[1].heard_at is not None
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            ScalarNetwork([Listener()])
+
+    def test_silence_observed_on_idle_channel(self):
+        class QuietListener(Listener):
+            def begin_slot(self, slot):
+                return (1, ACT_IDLE) if self.halted else (1, ACT_LISTEN)
+
+        quiet = QuietListener()
+        nodes = [Beacon(1), quiet]  # beacon on channel 0, listener on 1
+        net = ScalarNetwork(nodes, max_slots=2)
+        net.run(2)
+        assert quiet.feedbacks[0] == FB_SILENCE

@@ -1,0 +1,59 @@
+"""Unit tests for the trace recorder."""
+
+import numpy as np
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestGrowthCurve:
+    def test_empty(self):
+        tr = TraceRecorder()
+        slots, counts = tr.informed_curve()
+        assert slots.size == 0 and counts.size == 0
+        assert tr.slots_to_informed() is None
+
+    def test_curve_ordering(self):
+        tr = TraceRecorder()
+        tr.record_growth(0, 1)
+        tr.record_growth(10, 3)
+        tr.record_growth(25, 8)
+        slots, counts = tr.informed_curve()
+        np.testing.assert_array_equal(slots, [0, 10, 25])
+        np.testing.assert_array_equal(counts, [1, 3, 8])
+
+    def test_slots_to_informed_full(self):
+        tr = TraceRecorder()
+        tr.record_growth(0, 1)
+        tr.record_growth(7, 4)
+        tr.record_growth(20, 8)
+        assert tr.slots_to_informed(1.0) == 20
+
+    def test_slots_to_informed_fraction(self):
+        tr = TraceRecorder()
+        tr.record_growth(0, 1)
+        tr.record_growth(7, 4)
+        tr.record_growth(20, 8)
+        assert tr.slots_to_informed(0.5) == 7
+
+
+class TestPeriods:
+    def test_record_and_filter(self):
+        tr = TraceRecorder()
+        tr.record_period("iteration", (6,), 0, 100, 5, 8, R=100)
+        tr.record_period("phase", (3, 1), 100, 140, 6, 8, p=0.25)
+        assert len(tr.periods_of("iteration")) == 1
+        assert len(tr.periods_of("phase")) == 1
+        assert tr.periods_of("phase")[0].detail["p"] == 0.25
+
+    def test_len_counts_everything(self):
+        tr = TraceRecorder()
+        tr.record_growth(0, 1)
+        tr.record_period("iteration", (1,), 0, 10, 2, 2)
+        assert len(tr) == 2
+
+    def test_indices_are_int_tuples(self):
+        tr = TraceRecorder()
+        tr.record_period("phase", (np.int64(3), np.int64(1)), 0, 1, 1, 1)
+        idx = tr.periods[0].index
+        assert idx == (3, 1)
+        assert all(isinstance(x, int) for x in idx)

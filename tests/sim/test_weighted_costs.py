@@ -1,0 +1,75 @@
+"""Tests for non-unit action costs — the paper's footnote 1.
+
+"In reality, the energy expenditure for sending, listening, and jamming might
+differ, but they are often in the same order. ... allowing costs of different
+actions to be different constants will not affect the correctness of our
+results."  We test both halves: the ledger arithmetic, and the preserved
+conclusion (resource competitiveness up to the constants).
+"""
+
+import numpy as np
+import pytest
+
+from repro import BlanketJammer, MultiCast
+from repro.sim.engine import RadioNetwork
+from repro.sim.metrics import EnergyLedger
+
+
+class TestWeightedLedger:
+    def test_weights_applied(self):
+        led = EnergyLedger(2, listen_cost=1.5, send_cost=3.0, jam_cost=0.5)
+        led.charge_nodes(np.array([2, 0]), np.array([1, 4]))
+        led.charge_adversary(10)
+        np.testing.assert_allclose(led.node_cost, [2 * 1.5 + 1 * 3.0, 4 * 3.0])
+        assert led.adversary_spend == 5.0
+        assert led.max_node_cost == 12.0
+
+    def test_unit_weights_stay_integral(self):
+        led = EnergyLedger(2)
+        led.charge_nodes(np.array([1, 2]), np.array([0, 1]))
+        led.charge_adversary(3)
+        assert led.node_cost.dtype.kind == "i"
+        assert isinstance(led.adversary_spend, int)
+        assert isinstance(led.max_node_cost, int)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyLedger(2, listen_cost=-1.0)
+
+    def test_raw_slot_counts_unweighted(self):
+        led = EnergyLedger(1, listen_cost=7.0)
+        led.charge_nodes(np.array([3]), np.array([0]))
+        assert led.listen_slots[0] == 3  # counts stay raw; weights at readout
+
+
+class TestFootnoteOneConclusion:
+    """Scaling the action costs by constants rescales the books but does not
+    change who wins the energy war or whether the broadcast completes."""
+
+    N = 32
+    T = 600_000
+
+    def _run(self, **weights):
+        adv = BlanketJammer(budget=self.T, channels=0.9, placement="random", seed=4)
+        adv.reset()
+        net = RadioNetwork(self.N, adv, seed=9, **weights)
+        return MultiCast(self.N, a=0.05).run(net), net
+
+    def test_same_execution_different_books(self):
+        r1, net1 = self._run()
+        r2, net2 = self._run(listen_cost=2.0, send_cost=3.0, jam_cost=1.5)
+        # identical execution (same seeds): same slots, same raw counts
+        assert r1.slots == r2.slots
+        np.testing.assert_array_equal(net1.energy.listen_slots, net2.energy.listen_slots)
+        np.testing.assert_array_equal(net1.energy.send_slots, net2.energy.send_slots)
+        # books scale within the min/max constant band
+        assert (r2.node_energy >= 2.0 * r1.node_energy - 1e-9).all()
+        assert (r2.node_energy <= 3.0 * r1.node_energy + 1e-9).all()
+        assert r2.adversary_spend == pytest.approx(1.5 * r1.adversary_spend)
+
+    def test_competitiveness_preserved(self):
+        r, _ = self._run(listen_cost=2.0, send_cost=3.0, jam_cost=0.5)
+        assert r.success
+        # Eve still outspends every node by a huge factor even when her
+        # action is the cheap one
+        assert r.max_cost < 0.1 * r.adversary_spend

@@ -1,0 +1,64 @@
+"""API-surface contract: everything advertised is importable and documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.sim",
+    "repro.sim.channel",
+    "repro.sim.engine",
+    "repro.sim.jam",
+    "repro.sim.metrics",
+    "repro.sim.node",
+    "repro.sim.rng",
+    "repro.sim.trace",
+    "repro.adversary",
+    "repro.adversary.base",
+    "repro.adversary.strategies",
+    "repro.adversary.reactive",
+    "repro.core",
+    "repro.core.multicast_core",
+    "repro.core.multicast",
+    "repro.core.multicast_adv",
+    "repro.core.limited",
+    "repro.core.schedule",
+    "repro.core.reference",
+    "repro.core.result",
+    "repro.core.runner",
+    "repro.baselines",
+    "repro.baselines.decay",
+    "repro.baselines.naive",
+    "repro.baselines.single_channel",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_importable_and_documented(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 20, f"{name} lacks a docstring"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize(
+    "name",
+    [n for n in dir(repro) if not n.startswith("_") and inspect.isclass(getattr(repro, n))],
+)
+def test_public_classes_documented(name):
+    cls = getattr(repro, name)
+    assert cls.__doc__ and len(cls.__doc__.strip()) > 10, f"{name} lacks a docstring"
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_jammer, make_protocol
+from repro import MultiCast, MultiCastAdv, MultiCastC, MultiCastCore
+from repro.adversary import BlanketJammer, FrontLoadedJammer
+
+
+class TestFactories:
+    def test_protocol_names(self):
+        assert isinstance(make_protocol("core", 16, T=100), MultiCastCore)
+        assert isinstance(make_protocol("multicast", 16), MultiCast)
+        assert isinstance(make_protocol("multicast_c", 16, C=2), MultiCastC)
+        assert isinstance(make_protocol("adv", 16), MultiCastAdv)
+
+    def test_unknown_protocol_exits(self):
+        with pytest.raises(SystemExit):
+            make_protocol("carrier-pigeon", 16)
+
+    def test_jammer_names(self):
+        assert make_jammer("none", 100, seed=1) is None
+        assert make_jammer("blanket", 0, seed=1) is None  # zero budget = off
+        assert isinstance(make_jammer("blanket", 100, seed=1), BlanketJammer)
+        assert isinstance(make_jammer("frontloaded", 100, seed=1), FrontLoadedJammer)
+
+    def test_unknown_jammer_exits(self):
+        with pytest.raises(SystemExit):
+            make_jammer("emp", 100, seed=1)
+
+
+class TestCommands:
+    def test_run_clean(self, capsys):
+        rc = main(["run", "--protocol", "multicast", "--n", "16", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "success" in out and "slots" in out
+
+    def test_run_jammed(self, capsys):
+        rc = main(
+            [
+                "run", "--protocol", "core", "--n", "16",
+                "--jammer", "blackout", "--budget", "20000", "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        assert "Eve's spend" in capsys.readouterr().out
+
+    def test_channels_sweep(self, capsys):
+        rc = main(["channels", "--n", "16", "--budget", "5000", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # sweep covers C = 1, 2, 4, 8
+        assert out.count("yes") == 4
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
