@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerate the committed campaign record behind EXPERIMENTS.md.
+#
+# Every campaign is resumable: interrupting this script and re-running it
+# skips trials already in the .jsonl stores. Delete a store to re-measure
+# from scratch. Seeds live in the .spec.json files, so the statistics
+# reproduce exactly (wall_time fields aside) on any machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+run() {
+  echo "== $1"
+  python -m repro sweep --spec "experiments/$1.spec.json" \
+    --store "experiments/$2.jsonl" --workers "${WORKERS:-2}" --quiet
+}
+
+run gallery gallery
+run scaling_n scaling_n
+run budget_T50000 budget
+run budget_T200000 budget
+run budget_T800000 budget
+run budget_T3200000 budget
+run channels_C1 channels
+run channels_C2 channels
+run channels_C4 channels
+run channels_C8 channels
+run channels_C16 channels

@@ -4,8 +4,9 @@ A full, from-scratch Python reproduction of Chen & Zheng (SPAA 2019,
 arXiv:1904.06328): the synchronous multi-channel radio-network model with an
 oblivious jamming adversary, the paper's five broadcast protocols
 (``MultiCastCore``, ``MultiCast``, ``MultiCastAdv`` and their channel-limited
-variants), a gallery of jamming strategies, classic baselines, and an
-experiment harness that regenerates the paper's theorem-level claims.
+variants), a gallery of jamming strategies, classic baselines, and a parallel
+Monte Carlo campaign engine (:mod:`repro.exp`, ``python -m repro sweep``)
+that regenerates the paper's theorem-level claims with confidence intervals.
 
 Quickstart::
 

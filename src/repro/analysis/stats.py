@@ -113,6 +113,7 @@ def run_trials(
     base_seed: int = 0,
     max_slots: int = 50_000_000,
     label: str = "",
+    workers: int = 1,
 ) -> TrialBatch:
     """Run ``trials`` fresh executions and collect the results.
 
@@ -128,23 +129,30 @@ def run_trials(
     trials, base_seed:
         Batch size and root seed; trial t runs with node seed
         ``derive_seed(base_seed, label, "net", t)``.
+    workers:
+        Process count for :func:`repro.exp.pool.fork_map`; every trial's
+        seeds derive from ``(base_seed, label, t)`` alone and results come
+        back in trial order, so any worker count produces the identical
+        batch (1 = in-process serial loop).
     """
-    batch = TrialBatch()
-    for t in range(trials):
+
+    def one(t: int):
         adversary = (
             None
             if adversary_factory is None
             else adversary_factory(derive_seed(base_seed, label, "eve", t))
         )
-        result = run_broadcast(
+        return run_broadcast(
             protocol_factory(),
             n,
             adversary,
             seed=derive_seed(base_seed, label, "net", t),
             max_slots=max_slots,
         )
-        batch.results.append(result)
-    return batch
+
+    from repro.exp.pool import fork_map  # local: repro.exp.store imports Summary
+
+    return TrialBatch(results=fork_map(one, range(trials), workers=workers))
 
 
 def summarize(batch: TrialBatch, metric: str) -> Summary:

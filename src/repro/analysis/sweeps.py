@@ -70,12 +70,17 @@ def sweep(
     trials: int = 5,
     base_seed: int = 0,
     max_slots: int = 50_000_000,
+    workers: int = 1,
 ) -> SweepResult:
     """Run a batch at every parameter value.
 
     ``protocol_factory(v)`` builds the protocol for value ``v``;
     ``n_of(v)`` gives the network size (usually constant);
     ``adversary_factory(v, seed)`` builds Eve for value ``v``.
+    ``workers`` fans each batch's trials across processes via
+    :func:`repro.exp.pool.fork_map`; results are independent of the worker
+    count (trial seeds derive from ``(base_seed, label, t)``, never from
+    scheduling).
     """
     result = SweepResult(parameter)
     for v in values:
@@ -87,6 +92,7 @@ def sweep(
             base_seed=base_seed,
             max_slots=max_slots,
             label=f"{parameter}={v}",
+            workers=workers,
         )
         result.points.append(SweepPoint(float(v), batch))
     return result

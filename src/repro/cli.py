@@ -15,6 +15,10 @@ Channel-scarcity sweep (Corollary 7.1's shape)::
 
     python -m repro channels --n 64 --budget 250000
 
+Parallel Monte Carlo campaign (resumable; see EXPERIMENTS.md)::
+
+    python -m repro sweep --trials 20 --workers 0 --store results.jsonl
+
 The CLI wraps the same public API the examples use; it exists so ad-hoc
 reproduction runs don't require writing a script.
 """
@@ -22,64 +26,42 @@ reproduction runs don't require writing a script.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Optional
 
-from repro import (
-    BlanketJammer,
-    FractionalJammer,
-    FrontLoadedJammer,
-    MultiCast,
-    MultiCastAdv,
-    MultiCastAdvC,
-    MultiCastC,
-    MultiCastCore,
-    PeriodicBurstJammer,
-    RandomJammer,
-    SweepJammer,
-    run_broadcast,
-)
+from repro import MultiCastC, run_broadcast
 from repro.analysis import render_table
+from repro.exp import (
+    CampaignInterrupted,
+    CampaignSpec,
+    ResultStore,
+    UnknownNameError,
+    aggregate,
+    run_campaign,
+)
+from repro.exp import registry
 
 __all__ = ["main", "build_parser", "make_protocol", "make_jammer"]
 
 #: MultiCastAdv laptop-scale profile used by the CLI (see DESIGN.md 2.2).
-ADV_KNOBS = dict(alpha=0.24, b=0.05, halt_noise_divisor=50.0, helper_wait=4.0)
+ADV_KNOBS = registry.ADV_KNOBS
 
 
 def make_protocol(name: str, n: int, *, T: int = 0, C: Optional[int] = None):
-    """Build a protocol object by CLI name."""
-    name = name.lower()
-    if name in ("core", "multicastcore"):
-        return MultiCastCore(n=n, T=max(T, n))
-    if name in ("multicast", "mc"):
-        return MultiCast(n)
-    if name in ("multicast_c", "mcc"):
-        return MultiCastC(n, C if C is not None else max(1, n // 8))
-    if name in ("adv", "multicastadv"):
-        return MultiCastAdv(**ADV_KNOBS, max_epochs=32)
-    if name in ("adv_c", "multicastadvc"):
-        return MultiCastAdvC(C if C is not None else 8, **ADV_KNOBS, max_epochs=32)
-    raise SystemExit(f"unknown protocol {name!r} (try: core, multicast, multicast_c, adv, adv_c)")
+    """Build a protocol object by CLI name (unknown names exit with choices)."""
+    try:
+        return registry.build_protocol(name, n, T=T, C=C)
+    except UnknownNameError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def make_jammer(name: str, budget: int, seed: int):
-    """Build a jammer by CLI name (``none`` -> no adversary)."""
-    name = name.lower()
-    if name == "none" or budget == 0:
-        return None
-    table = {
-        "blanket": lambda: BlanketJammer(budget, channels=0.9, placement="random", seed=seed),
-        "blackout": lambda: BlanketJammer(budget, channels=1.0, seed=seed),
-        "fractional": lambda: FractionalJammer(budget, 0.9, 0.9, seed=seed),
-        "frontloaded": lambda: FrontLoadedJammer(budget),
-        "bursts": lambda: PeriodicBurstJammer(budget, period=90, burst=60, channels=1.0, seed=seed),
-        "sweep": lambda: SweepJammer(budget, width=8, seed=seed),
-        "random": lambda: RandomJammer(budget, 0.5, seed=seed),
-    }
-    if name not in table:
-        raise SystemExit(f"unknown jammer {name!r} (try: {', '.join(table)}, none)")
-    return table[name]()
+    """Build a jammer by CLI name (``none`` -> no adversary; unknown -> exit)."""
+    try:
+        return registry.build_jammer(name, budget, seed)
+    except UnknownNameError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _result_rows(result):
@@ -143,6 +125,101 @@ def cmd_channels(args) -> int:
     return 0 if ok else 1
 
 
+def _sweep_campaign(args) -> CampaignSpec:
+    """Build the campaign grid from CLI flags (or load ``--spec`` JSON).
+
+    Explicit flags override the loaded spec; ``replace()`` re-runs
+    validation, so e.g. ``--trials 0`` cannot slip past ``__post_init__``.
+    """
+    defaults = dict(
+        protocols=["core", "multicast", "multicast_c"],
+        jammers=["blanket", "bursts", "sweep"],
+        ns=[64],
+        budget=100_000,
+        trials=10,
+    )
+    try:
+        overrides = {
+            "protocols": None if args.protocols is None else [p for p in args.protocols.split(",") if p],
+            "jammers": None if args.jammers is None else [j for j in args.jammers.split(",") if j],
+            "ns": None if args.n is None else [int(x) for x in args.n.split(",") if x],
+            "budget": args.budget,
+            "trials": args.trials,
+            "base_seed": args.seed,
+            "channels": args.channels,
+            "max_slots": args.max_slots,
+        }
+        overrides = {k: v for k, v in overrides.items() if v is not None}
+        if args.spec:
+            return dataclasses.replace(CampaignSpec.load(args.spec), **overrides)
+        return CampaignSpec(**{**defaults, **overrides})
+    except UnknownNameError as exc:
+        raise SystemExit(str(exc)) from None
+    except OSError as exc:
+        raise SystemExit(f"cannot read campaign spec: {exc}") from None
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"bad campaign spec: {exc}") from None
+
+
+def _sweep_rows(cells):
+    rows = []
+    for c in cells:
+        slots, cost, spend = c.summary("slots"), c.summary("max_cost"), c.summary("adversary_spend")
+        ratio = c.competitiveness
+        rows.append(
+            [
+                c.protocol,
+                c.jammer,
+                c.n,
+                c.trials,
+                f"{c.success_rate:.0%}",
+                f"{slots.mean:.3g} ±{slots.ci95:.2g}",
+                f"{cost.mean:.3g} ±{cost.ci95:.2g}",
+                f"{spend.mean:.3g}",
+                "inf" if ratio == float("inf") else f"{ratio:.4f}",
+            ]
+        )
+    return rows
+
+
+def cmd_sweep(args) -> int:
+    campaign = _sweep_campaign(args)
+    store = ResultStore(args.store)
+    # count only THIS campaign's stored trials: shared stores hold others'
+    skipped = len({s.key() for s in campaign.trial_specs()} & store.completed_keys())
+    if skipped:
+        print(f"resuming: {skipped} stored trial(s) found in {args.store}", file=sys.stderr)
+
+    def progress(done, total, record):
+        if not args.quiet:
+            print(f"[{done}/{total}] {record.key}", file=sys.stderr)
+
+    try:
+        with store:
+            records = run_campaign(
+                campaign, store, workers=args.workers, progress=progress
+            )
+    except CampaignInterrupted as exc:
+        print(
+            f"interrupted after {exc.done}/{exc.total} pending trials; "
+            "re-run the same command to resume",
+            file=sys.stderr,
+        )
+        return 130
+    cells = aggregate(records)
+    print(
+        render_table(
+            ["protocol", "jammer", "n", "trials", "ok", "slots", "max cost", "Eve spend", "cost/T"],
+            _sweep_rows(cells),
+            title=(
+                f"campaign {campaign.name!r}: {len(records)} trials, "
+                f"budget {campaign.budget:,}, base seed {campaign.base_seed}"
+            ),
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -171,6 +248,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_ch = sub.add_parser("channels", help="MultiCast(C) scarcity sweep")
     common(p_ch)
     p_ch.set_defaults(fn=cmd_channels)
+
+    p_sw = sub.add_parser("sweep", help="parallel Monte Carlo campaign (resumable)")
+    # grid flags default to None so they can tell "explicit" from "absent":
+    # explicit flags override a --spec file; absent ones fall back to the
+    # spec's values (or the documented defaults when there is no --spec)
+    p_sw.add_argument(
+        "--protocols",
+        default=None,
+        help="comma-separated protocol names (default core,multicast,multicast_c)",
+    )
+    p_sw.add_argument(
+        "--jammers",
+        default=None,
+        help="comma-separated jammer names (default blanket,bursts,sweep)",
+    )
+    p_sw.add_argument("--n", default=None, help="comma-separated network sizes (default 64)")
+    p_sw.add_argument(
+        "--budget", type=int, default=None, help="Eve's energy budget T (default 100000)"
+    )
+    p_sw.add_argument("--trials", type=int, default=None, help="trials per cell (default 10)")
+    p_sw.add_argument("--seed", type=int, default=None, help="campaign base seed (default 0)")
+    p_sw.add_argument("--channels", type=int, default=None, help="C for the (C) variants")
+    p_sw.add_argument("--max-slots", type=int, default=None)
+    p_sw.add_argument(
+        "--workers", type=int, default=0, help="0 = one per CPU; 1 = serial fallback"
+    )
+    p_sw.add_argument(
+        "--store", default=None, help="JSONL result store (enables resumption)"
+    )
+    p_sw.add_argument("--spec", default=None, help="load a CampaignSpec JSON file")
+    p_sw.add_argument("--quiet", action="store_true", help="suppress per-trial progress")
+    p_sw.set_defaults(fn=cmd_sweep)
 
     return parser
 

@@ -1,0 +1,73 @@
+"""Parallel, reproducible experiment campaigns.
+
+Monte Carlo confidence on the paper's theorem-level claims takes hundreds of
+seeded trials per (protocol x jammer x n) cell; this package turns that from
+a hand-rolled loop into a declarative, resumable, parallel pipeline:
+
+1. :mod:`~repro.exp.spec` — declare the grid (:class:`CampaignSpec`) as
+   JSON-friendly data; every trial's seeds derive from its identity.
+2. :mod:`~repro.exp.pool` — fan trials across worker processes
+   (:func:`run_campaign`), with a single-process fallback that is
+   bit-identical to the parallel run.
+3. :mod:`~repro.exp.store` — stream records to an append-only JSONL store
+   (:class:`ResultStore`); re-running the same campaign resumes by skipping
+   stored trial keys; :func:`aggregate` reduces records to per-cell
+   confidence intervals.
+
+The ``python -m repro sweep`` CLI wraps exactly this pipeline, and
+``repro.analysis`` delegates its trial batches to the same pool.  See
+DESIGN.md section 3 for the architecture and EXPERIMENTS.md for the measured
+record produced with it.
+
+Example::
+
+    from repro.exp import CampaignSpec, ResultStore, aggregate, run_campaign
+
+    campaign = CampaignSpec(protocols=["multicast", "core"],
+                            jammers=["blanket", "sweep"],
+                            budget=100_000, trials=20, base_seed=1)
+    records = run_campaign(campaign, ResultStore("results.jsonl"), workers=0)
+    for cell in aggregate(records):
+        print(cell.protocol, cell.jammer, cell.success_rate,
+              cell.summary("max_cost"))
+"""
+
+from repro.exp.pool import (
+    CampaignInterrupted,
+    default_workers,
+    fork_map,
+    run_campaign,
+    run_trial,
+)
+from repro.exp.registry import (
+    UnknownNameError,
+    build_jammer,
+    build_protocol,
+    canonical_jammer,
+    canonical_protocol,
+    jammer_names,
+    protocol_names,
+)
+from repro.exp.spec import CampaignSpec, TrialSpec
+from repro.exp.store import CellStats, ResultStore, TrialRecord, aggregate
+
+__all__ = [
+    "CampaignInterrupted",
+    "CampaignSpec",
+    "CellStats",
+    "ResultStore",
+    "TrialRecord",
+    "TrialSpec",
+    "UnknownNameError",
+    "aggregate",
+    "build_jammer",
+    "build_protocol",
+    "canonical_jammer",
+    "canonical_protocol",
+    "default_workers",
+    "fork_map",
+    "jammer_names",
+    "protocol_names",
+    "run_campaign",
+    "run_trial",
+]

@@ -1,0 +1,194 @@
+"""Parallel trial execution: fan a campaign's trials out across processes.
+
+Two execution paths share one contract — *identical results to a serial
+loop* — because every trial's randomness derives from its spec, never from
+which worker ran it or when:
+
+* :func:`run_campaign` runs :class:`~repro.exp.spec.CampaignSpec` trials on a
+  ``multiprocessing`` pool.  Trials are picklable specs, rebuilt inside the
+  worker via the name registry, so any start method works.  Results stream
+  back unordered, get appended (and flushed) to the store as they land, and
+  the final record list is re-sorted by trial key — aggregates are
+  byte-identical across worker counts, including ``workers=1``, which runs a
+  plain in-process loop with no multiprocessing at all (the determinism-test
+  fallback).
+* :func:`fork_map` parallelizes arbitrary *closures* (the existing
+  ``analysis.stats.run_trials`` factories) by staging them in a module global
+  before forking, since closures cannot be pickled.  On platforms without
+  ``fork`` it silently degrades to a serial map.
+
+SIGINT discipline: workers ignore SIGINT; the parent catches the first one,
+drains nothing, terminates the pool, and raises :class:`CampaignInterrupted`.
+Everything already flushed to the store survives, so re-running the same
+command resumes where the interrupt landed.
+
+See DESIGN.md section 3.2 for the worker-model rationale.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.result import run_broadcast
+from repro.exp.registry import build_jammer, build_protocol
+from repro.exp.spec import CampaignSpec, TrialSpec
+from repro.exp.store import ResultStore, TrialRecord
+
+__all__ = [
+    "CampaignInterrupted",
+    "ProgressCallback",
+    "run_trial",
+    "run_campaign",
+    "fork_map",
+    "default_workers",
+]
+
+#: ``progress(done, total, record)`` — called after each newly completed
+#: trial; ``done``/``total`` count this invocation's pending trials only.
+ProgressCallback = Callable[[int, int, TrialRecord], None]
+
+
+class CampaignInterrupted(KeyboardInterrupt):
+    """SIGINT landed mid-campaign; completed trials are already in the store."""
+
+    def __init__(self, done: int, total: int):
+        self.done = done
+        self.total = total
+        super().__init__(f"campaign interrupted after {done}/{total} pending trials")
+
+
+def default_workers() -> int:
+    """Worker count for ``workers=0`` (auto): the CPU count, floor 1."""
+    return max(1, os.cpu_count() or 1)
+
+
+def run_trial(spec: TrialSpec) -> TrialRecord:
+    """Execute one trial from its spec (top-level, hence pool-picklable)."""
+    protocol = build_protocol(
+        spec.protocol, spec.n, T=spec.budget, C=spec.channels, knobs=spec.protocol_knobs
+    )
+    adversary = build_jammer(
+        spec.jammer, spec.budget, spec.jammer_seed(), knobs=spec.jammer_knobs
+    )
+    t0 = time.perf_counter()
+    result = run_broadcast(
+        protocol, spec.n, adversary, seed=spec.net_seed(), max_slots=spec.max_slots
+    )
+    return TrialRecord.from_result(spec, result, wall_time=time.perf_counter() - t0)
+
+
+def _ignore_sigint() -> None:
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    store: Optional[ResultStore] = None,
+    *,
+    workers: int = 0,
+    progress: Optional[ProgressCallback] = None,
+) -> List[TrialRecord]:
+    """Run every not-yet-completed trial of ``campaign``; return all records.
+
+    Parameters
+    ----------
+    campaign:
+        The grid to run.
+    store:
+        Result sink; trials whose key is already in the store are skipped
+        (resumption).  ``None`` uses a throwaway in-memory store.
+    workers:
+        ``0`` -> one per CPU; ``1`` -> in-process serial loop (no
+        multiprocessing, the determinism-test fallback); ``>1`` -> pool.
+    progress:
+        Optional per-completion callback.
+
+    Returns the records of *all* the campaign's trials — freshly run and
+    previously stored — sorted by trial key.  Records the store holds for
+    *other* campaigns (stores may be shared) are not returned.
+    """
+    if store is None:
+        store = ResultStore(None)
+    done_keys = store.completed_keys()
+    specs = campaign.trial_specs()
+    wanted = {s.key() for s in specs}
+    pending = [s for s in specs if s.key() not in done_keys]
+    workers = default_workers() if workers == 0 else max(1, int(workers))
+    workers = min(workers, max(1, len(pending)))
+
+    total = len(pending)
+    done = 0
+
+    def record_one(record: TrialRecord) -> None:
+        nonlocal done
+        store.append(record)
+        done += 1
+        if progress is not None:
+            progress(done, total, record)
+
+    if workers == 1 or total == 0:
+        try:
+            for spec in pending:
+                record_one(run_trial(spec))
+        except KeyboardInterrupt:
+            raise CampaignInterrupted(done, total) from None
+        return [r for r in store.records() if r.key in wanted]
+
+    # chunksize stays 1: trials run for seconds (IPC cost is noise), and a
+    # bigger chunk would buffer completed results inside workers, breaking
+    # the store's "loses at most the trials in flight" flush promise.
+    ctx = multiprocessing.get_context()
+    pool = ctx.Pool(workers, initializer=_ignore_sigint)
+    try:
+        for record in pool.imap_unordered(run_trial, pending, chunksize=1):
+            record_one(record)
+        pool.close()
+        pool.join()
+    except KeyboardInterrupt:
+        pool.terminate()
+        pool.join()
+        raise CampaignInterrupted(done, total) from None
+    except Exception:
+        pool.terminate()
+        pool.join()
+        raise
+    return [r for r in store.records() if r.key in wanted]
+
+
+# -- closure-friendly parallel map ------------------------------------------------
+
+#: Staged (fn, items) visible to forked children; see fork_map.
+_FORK_STATE: dict = {}
+
+
+def _fork_call(index: int):
+    return _FORK_STATE["fn"](_FORK_STATE["items"][index])
+
+
+def fork_map(fn: Callable, items: Sequence, *, workers: int = 1) -> List:
+    """``[fn(x) for x in items]``, fanned across forked workers when possible.
+
+    Unlike a pool ``map``, ``fn`` may be a closure or lambda: it is staged in
+    a module global that forked children inherit by memory copy, and only the
+    item *index* crosses the process boundary.  Falls back to a serial list
+    comprehension when ``workers <= 1``, when there are fewer than two items,
+    or when the platform lacks the ``fork`` start method.  Result order
+    always matches ``items`` order.
+    """
+    workers = default_workers() if workers == 0 else int(workers)
+    workers = min(workers, len(items))
+    serial = workers <= 1 or "fork" not in multiprocessing.get_all_start_methods()
+    if serial:
+        return [fn(x) for x in items]
+    ctx = multiprocessing.get_context("fork")
+    _FORK_STATE["fn"] = fn
+    _FORK_STATE["items"] = items
+    try:
+        with ctx.Pool(workers, initializer=_ignore_sigint) as pool:
+            return pool.map(_fork_call, range(len(items)))
+    finally:
+        _FORK_STATE.clear()

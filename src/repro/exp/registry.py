@@ -1,0 +1,188 @@
+"""Name registries for protocols and jammers.
+
+Campaign specs (and the CLI) refer to protocols and adversaries by short
+string names so a trial is described entirely by picklable, JSON-friendly
+data and can be rebuilt inside a worker process.  This module is the single
+source of truth for those names: :mod:`repro.cli` delegates here, so the CLI
+and :mod:`repro.exp` always accept the same vocabulary and unknown names
+fail with the same "here is what exists" message everywhere.
+
+Each registry maps a canonical name to a builder plus aliases.  Builders take
+only JSON-representable arguments (ints, floats, dicts) — never live objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.adversary import (
+    BlanketJammer,
+    FractionalJammer,
+    FrontLoadedJammer,
+    PeriodicBurstJammer,
+    RandomJammer,
+    SweepJammer,
+)
+from repro.baselines import DecayBroadcast, NaiveEpidemic, SingleChannelCompetitive
+from repro.core import MultiCast, MultiCastAdv, MultiCastAdvC, MultiCastC, MultiCastCore
+
+__all__ = [
+    "UnknownNameError",
+    "protocol_names",
+    "jammer_names",
+    "canonical_protocol",
+    "canonical_jammer",
+    "build_protocol",
+    "build_jammer",
+]
+
+#: MultiCastAdv laptop-scale profile shared by the CLI and campaigns
+#: (see DESIGN.md section 2.2).
+ADV_KNOBS = dict(alpha=0.24, b=0.05, halt_noise_divisor=50.0, helper_wait=4.0)
+
+
+class UnknownNameError(ValueError):
+    """An unregistered protocol/jammer name, with the valid choices attached."""
+
+    def __init__(self, kind: str, name: str, choices: List[str]):
+        self.kind = kind
+        self.name = name
+        self.choices = choices
+        super().__init__(
+            f"unknown {kind} {name!r} (valid choices: {', '.join(choices)})"
+        )
+
+
+@dataclass(frozen=True)
+class _Entry:
+    build: Callable
+    aliases: tuple = ()
+
+
+def _mk_adv(**overrides):
+    knobs = dict(ADV_KNOBS, max_epochs=32)
+    knobs.update(overrides)
+    return knobs
+
+
+_PROTOCOLS: Dict[str, _Entry] = {
+    "core": _Entry(
+        lambda n, T, C, knobs: MultiCastCore(n=n, T=max(T, n), **knobs),
+        aliases=("multicastcore",),
+    ),
+    "multicast": _Entry(
+        lambda n, T, C, knobs: MultiCast(n, **knobs),
+        aliases=("mc",),
+    ),
+    "multicast_c": _Entry(
+        lambda n, T, C, knobs: MultiCastC(n, C if C is not None else max(1, n // 8), **knobs),
+        aliases=("mcc",),
+    ),
+    "adv": _Entry(
+        lambda n, T, C, knobs: MultiCastAdv(**_mk_adv(**knobs)),
+        aliases=("multicastadv",),
+    ),
+    "adv_c": _Entry(
+        lambda n, T, C, knobs: MultiCastAdvC(
+            C if C is not None else 8, **_mk_adv(**knobs)
+        ),
+        aliases=("multicastadvc",),
+    ),
+    "decay": _Entry(lambda n, T, C, knobs: DecayBroadcast(n, **knobs)),
+    "naive": _Entry(lambda n, T, C, knobs: NaiveEpidemic(n, **knobs)),
+    "single_channel": _Entry(
+        lambda n, T, C, knobs: SingleChannelCompetitive(n, **knobs),
+        aliases=("sc",),
+    ),
+}
+
+_JAMMERS: Dict[str, _Entry] = {
+    "none": _Entry(lambda budget, seed, knobs: None),
+    "blanket": _Entry(
+        lambda budget, seed, knobs: BlanketJammer(
+            budget, **{"channels": 0.9, "placement": "random", "seed": seed, **knobs}
+        )
+    ),
+    "blackout": _Entry(
+        lambda budget, seed, knobs: BlanketJammer(
+            budget, **{"channels": 1.0, "seed": seed, **knobs}
+        )
+    ),
+    "fractional": _Entry(
+        lambda budget, seed, knobs: FractionalJammer(budget, 0.9, 0.9, seed=seed, **knobs)
+    ),
+    "frontloaded": _Entry(lambda budget, seed, knobs: FrontLoadedJammer(budget, **knobs)),
+    "bursts": _Entry(
+        lambda budget, seed, knobs: PeriodicBurstJammer(
+            budget, **{"period": 90, "burst": 60, "channels": 1.0, "seed": seed, **knobs}
+        )
+    ),
+    "sweep": _Entry(
+        lambda budget, seed, knobs: SweepJammer(budget, **{"width": 8, "seed": seed, **knobs})
+    ),
+    "random": _Entry(
+        lambda budget, seed, knobs: RandomJammer(budget, 0.5, seed=seed, **knobs)
+    ),
+}
+
+
+def protocol_names() -> List[str]:
+    """Canonical protocol names, in registry order."""
+    return list(_PROTOCOLS)
+
+
+def jammer_names() -> List[str]:
+    """Canonical jammer names, in registry order."""
+    return list(_JAMMERS)
+
+
+def _resolve(kind: str, table: Dict[str, _Entry], name: str) -> str:
+    key = name.lower()
+    if key in table:
+        return key
+    for canon, entry in table.items():
+        if key in entry.aliases:
+            return canon
+    raise UnknownNameError(kind, name, list(table))
+
+
+def canonical_protocol(name: str) -> str:
+    """Resolve a protocol name or alias to its canonical registry name."""
+    return _resolve("protocol", _PROTOCOLS, name)
+
+
+def canonical_jammer(name: str) -> str:
+    """Resolve a jammer name or alias to its canonical registry name."""
+    return _resolve("jammer", _JAMMERS, name)
+
+
+def build_protocol(
+    name: str,
+    n: int,
+    *,
+    T: int = 0,
+    C: Optional[int] = None,
+    knobs: Optional[dict] = None,
+):
+    """Build a fresh protocol object by registry name.
+
+    ``T`` is the adversary budget (only ``core`` needs it), ``C`` the channel
+    cap for the limited variants, ``knobs`` extra constructor overrides.
+    """
+    entry = _PROTOCOLS[canonical_protocol(name)]
+    return entry.build(int(n), int(T), C, dict(knobs or {}))
+
+
+def build_jammer(
+    name: str,
+    budget: int,
+    seed: int,
+    *,
+    knobs: Optional[dict] = None,
+):
+    """Build a fresh jammer by registry name (``none`` or budget 0 -> None)."""
+    canon = canonical_jammer(name)
+    if canon == "none" or budget == 0:
+        return None
+    return _JAMMERS[canon].build(int(budget), int(seed), dict(knobs or {}))

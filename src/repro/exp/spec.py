@@ -1,0 +1,175 @@
+"""Declarative experiment specs: what to run, not how to run it.
+
+A campaign is a grid — protocols x jammers x network sizes x seeded trials —
+described entirely by JSON-friendly data (names from :mod:`repro.exp.registry`
+plus scalars).  The split matters for parallelism and for resumption:
+
+* a :class:`TrialSpec` is picklable, so a worker process can rebuild and run
+  the trial from the spec alone;
+* a trial's RNG seeds are derived from its *identity* (``base_seed`` + cell
+  coordinates + trial index) via :func:`repro.sim.rng.derive_seed`, never from
+  execution order — running trials in any order, across any number of
+  workers, or across separate resumed invocations yields identical results;
+* :meth:`TrialSpec.key` is the stable identity string the result store uses
+  to skip already-completed trials on resume.
+
+See DESIGN.md section 3.1 for where specs sit in the campaign pipeline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exp.registry import canonical_jammer, canonical_protocol
+from repro.sim.rng import derive_seed
+
+__all__ = ["TrialSpec", "CampaignSpec"]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One cell coordinate plus one trial index: a single seeded execution."""
+
+    protocol: str
+    jammer: str
+    n: int
+    budget: int
+    trial: int  #: trial index within the (protocol, jammer, n) cell
+    base_seed: int  #: campaign root seed the per-trial seeds derive from
+    channels: Optional[int] = None  #: C for the channel-limited variants
+    max_slots: int = 50_000_000
+    protocol_knobs: Dict = field(default_factory=dict)
+    jammer_knobs: Dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "protocol", canonical_protocol(self.protocol))
+        object.__setattr__(self, "jammer", canonical_jammer(self.jammer))
+
+    @property
+    def cell(self) -> tuple:
+        """The aggregation cell this trial belongs to."""
+        return (self.protocol, self.jammer, self.n, self.budget)
+
+    def key(self) -> str:
+        """Stable identity string (store key; also the seed-derivation label).
+
+        Every field that changes what a trial *measures* is part of the key —
+        otherwise resumption would silently reuse results computed under
+        different settings.  Non-default ``max_slots`` and knob dicts appear
+        as extra components (a short hash for the knobs), so keys of plain
+        campaigns stay short and stable.
+        """
+        parts = [self.protocol, self.jammer, f"n{self.n}", f"T{self.budget}"]
+        if self.channels is not None:
+            parts.append(f"C{self.channels}")
+        if self.max_slots != 50_000_000:
+            parts.append(f"m{self.max_slots}")
+        if self.protocol_knobs or self.jammer_knobs:
+            digest = hashlib.blake2b(
+                json.dumps(
+                    [self.protocol_knobs, self.jammer_knobs], sort_keys=True
+                ).encode(),
+                digest_size=4,
+            ).hexdigest()
+            parts.append(f"k{digest}")
+        parts.append(f"s{self.base_seed}")
+        parts.append(f"t{self.trial}")
+        return "/".join(parts)
+
+    def net_seed(self) -> int:
+        """Seed for the honest nodes' randomness."""
+        return derive_seed(self.base_seed, self.key(), "net")
+
+    def jammer_seed(self) -> int:
+        """Seed for the adversary's randomness (independent of the nodes')."""
+        return derive_seed(self.base_seed, self.key(), "eve")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrialSpec":
+        return cls(**data)
+
+
+@dataclass
+class CampaignSpec:
+    """A full campaign grid: every combination becomes one :class:`TrialSpec`.
+
+    ``trials`` seeded executions run per (protocol, jammer, n) cell; trial
+    ``t`` of every cell derives its seeds from ``(base_seed, cell, t)``, so
+    the seed range of a campaign is implicit in ``base_seed`` + ``trials``.
+    """
+
+    protocols: List[str]
+    jammers: List[str]
+    ns: List[int] = field(default_factory=lambda: [64])
+    budget: int = 100_000
+    trials: int = 10
+    base_seed: int = 0
+    channels: Optional[int] = None
+    max_slots: int = 50_000_000
+    name: str = "campaign"
+    protocol_knobs: Dict = field(default_factory=dict)  #: per-protocol-name overrides
+    jammer_knobs: Dict = field(default_factory=dict)  #: per-jammer-name overrides
+
+    def __post_init__(self):
+        self.protocols = [canonical_protocol(p) for p in self.protocols]
+        self.jammers = [canonical_jammer(j) for j in self.jammers]
+        # knob dicts are keyed by name too — canonicalize (and thereby
+        # reject unknown names), else alias-keyed knobs would silently miss
+        # the trial_specs() lookup and collide with the knob-free keys
+        self.protocol_knobs = {
+            canonical_protocol(k): v for k, v in self.protocol_knobs.items()
+        }
+        self.jammer_knobs = {canonical_jammer(k): v for k, v in self.jammer_knobs.items()}
+        if not self.protocols or not self.jammers or not self.ns:
+            raise ValueError("campaign needs at least one protocol, jammer, and n")
+        if self.trials < 1:
+            raise ValueError("campaign needs at least one trial per cell")
+
+    def trial_specs(self) -> List[TrialSpec]:
+        """The campaign's trials in canonical (deterministic) order."""
+        specs = []
+        for protocol in self.protocols:
+            for jammer in self.jammers:
+                for n in self.ns:
+                    for t in range(self.trials):
+                        specs.append(
+                            TrialSpec(
+                                protocol=protocol,
+                                jammer=jammer,
+                                n=int(n),
+                                budget=int(self.budget),
+                                trial=t,
+                                base_seed=int(self.base_seed),
+                                channels=self.channels,
+                                max_slots=int(self.max_slots),
+                                protocol_knobs=dict(self.protocol_knobs.get(protocol, {})),
+                                jammer_knobs=dict(self.jammer_knobs.get(jammer, {})),
+                            )
+                        )
+        return specs
+
+    def __len__(self) -> int:
+        return len(self.protocols) * len(self.jammers) * len(self.ns) * self.trials
+
+    # -- JSON round-trip -----------------------------------------------------------
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(asdict(self), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls(**json.loads(text))
+
+    def save(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "CampaignSpec":
+        with open(path) as fh:
+            return cls.from_json(fh.read())

@@ -1,0 +1,221 @@
+"""Append-only JSONL result store with campaign resumption and aggregation.
+
+One line per completed trial, flushed as soon as the trial finishes, so a
+campaign killed at any point (SIGINT, OOM, power) loses at most the trials in
+flight.  Re-running the same campaign against the same store skips every key
+already present (:meth:`ResultStore.completed_keys`), which is the whole
+resumption story — there is no separate checkpoint format.
+
+Aggregation groups records by cell (protocol, jammer, n, budget) and reduces
+each metric with the :class:`repro.analysis.stats.Summary` confidence-interval
+helper.  Records are sorted by trial key before aggregating, so the numbers
+are byte-identical whatever order the workers finished in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Set, TextIO, Tuple
+
+from repro.analysis.stats import Summary
+from repro.core.result import BroadcastResult
+from repro.exp.spec import TrialSpec
+
+__all__ = ["TrialRecord", "ResultStore", "CellStats", "aggregate"]
+
+#: Scalar metrics copied off a BroadcastResult into each record, and offered
+#: for aggregation by name.  ``dissemination_slot`` is None on failed trials
+#: and aggregates as NaN.
+METRICS = ("slots", "max_cost", "mean_cost", "adversary_spend", "dissemination_slot")
+
+
+@dataclass
+class TrialRecord:
+    """Scalar outcome of one trial, JSONL-serializable.
+
+    Full per-node arrays stay in memory with the live ``BroadcastResult``;
+    the store keeps only the scalars every aggregate and table needs, so a
+    thousand-trial campaign is a few hundred KB of JSONL, not a pickle dump.
+    """
+
+    key: str
+    protocol: str
+    jammer: str
+    n: int
+    budget: int
+    trial: int
+    success: bool
+    slots: int
+    max_cost: int
+    mean_cost: float
+    adversary_spend: int
+    dissemination_slot: Optional[int]
+    halted_uninformed: int
+    periods: int
+    channels: Optional[int] = None  #: C of the channel-limited variants
+    protocol_label: str = ""  #: the protocol object's self-description
+    wall_time: float = 0.0  #: seconds of wall clock this trial took
+
+    @classmethod
+    def from_result(
+        cls, spec: TrialSpec, result: BroadcastResult, *, wall_time: float = 0.0
+    ) -> "TrialRecord":
+        return cls(
+            key=spec.key(),
+            protocol=spec.protocol,
+            jammer=spec.jammer,
+            n=spec.n,
+            budget=spec.budget,
+            trial=spec.trial,
+            success=bool(result.success),
+            slots=int(result.slots),
+            max_cost=int(result.max_cost),
+            mean_cost=float(result.mean_cost),
+            adversary_spend=int(result.adversary_spend),
+            dissemination_slot=result.dissemination_slot,
+            halted_uninformed=int(result.halted_uninformed),
+            periods=int(result.periods),
+            channels=spec.channels,
+            protocol_label=str(result.protocol),
+            wall_time=float(wall_time),
+        )
+
+    @property
+    def cell(self) -> Tuple[str, str, int, int, Optional[int]]:
+        return (self.protocol, self.jammer, self.n, self.budget, self.channels)
+
+    def to_json_line(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrialRecord":
+        return cls(**data)
+
+
+class ResultStore:
+    """JSONL trial records at ``path``; append-only, safe to re-open mid-campaign."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self._records: List[TrialRecord] = []
+        self._keys: Set[str] = set()
+        self._fh: Optional[TextIO] = None
+        if path is not None and os.path.exists(path):
+            with open(path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    self._remember(TrialRecord.from_dict(json.loads(line)))
+
+    def _remember(self, record: TrialRecord) -> None:
+        if record.key not in self._keys:
+            self._keys.add(record.key)
+            self._records.append(record)
+
+    def append(self, record: TrialRecord) -> None:
+        """Persist one record immediately (line-buffered, flushed)."""
+        if record.key in self._keys:
+            return
+        self._remember(record)
+        if self.path is not None:
+            if self._fh is None:
+                self._fh = open(self.path, "a")
+            self._fh.write(record.to_json_line() + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def completed_keys(self) -> Set[str]:
+        """Keys of every trial already on disk (the resume skip-set)."""
+        return set(self._keys)
+
+    def records(self) -> List[TrialRecord]:
+        """All records, sorted by key for order-independent aggregation."""
+        return sorted(self._records, key=lambda r: r.key)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+
+@dataclass
+class CellStats:
+    """Aggregate statistics of one (protocol, jammer, n, budget, C) cell."""
+
+    protocol: str
+    jammer: str
+    n: int
+    budget: int
+    trials: int
+    success_rate: float
+    violations: int  #: halted-while-uninformed nodes, summed over trials
+    channels: Optional[int] = None  #: C of the channel-limited variants
+    summaries: Dict[str, Summary] = field(default_factory=dict)
+
+    @property
+    def cell(self) -> Tuple[str, str, int, int, Optional[int]]:
+        return (self.protocol, self.jammer, self.n, self.budget, self.channels)
+
+    def summary(self, metric: str) -> Summary:
+        return self.summaries[metric]
+
+    @property
+    def competitiveness(self) -> float:
+        """mean(max_cost) / mean(adversary_spend) — < 1 means Eve outspends."""
+        spend = self.summaries["adversary_spend"].mean
+        if spend == 0:
+            return float("inf")
+        return self.summaries["max_cost"].mean / spend
+
+
+def aggregate(records: List[TrialRecord]) -> List[CellStats]:
+    """Reduce trial records to per-cell stats, in deterministic cell order.
+
+    Records are grouped by cell and sorted by key within each group before
+    any arithmetic, so the output is identical for any arrival order —
+    parallel, serial, or resumed — of the same trial set.
+    """
+    by_cell: Dict[Tuple, List[TrialRecord]] = {}
+    for record in sorted(records, key=lambda r: r.key):
+        by_cell.setdefault(record.cell, []).append(record)
+    out = []
+    # unset C sorts as -1 so stores mixing limited and unlimited cells order
+    for cell in sorted(by_cell, key=lambda c: tuple(-1 if x is None else x for x in c)):
+        group = by_cell[cell]
+        summaries = {
+            metric: Summary.of(
+                [
+                    float("nan") if getattr(r, metric) is None else getattr(r, metric)
+                    for r in group
+                ]
+            )
+            for metric in METRICS
+        }
+        out.append(
+            CellStats(
+                protocol=cell[0],
+                jammer=cell[1],
+                n=cell[2],
+                budget=cell[3],
+                channels=cell[4],
+                trials=len(group),
+                success_rate=sum(r.success for r in group) / len(group),
+                violations=sum(r.halted_uninformed for r in group),
+                summaries=summaries,
+            )
+        )
+    return out

@@ -1,0 +1,66 @@
+"""End-to-end interrupt/resume: SIGINT a live `repro sweep`, then resume it."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+TRIALS = 10
+CMD_TAIL = [
+    "-m", "repro", "sweep",
+    "--protocols", "multicast", "--jammers", "blanket",
+    "--n", "64", "--budget", "150000", "--trials", str(TRIALS),
+    "--workers", "2", "--quiet",
+]
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _lines(path):
+    if not os.path.exists(path):
+        return []
+    with open(path) as fh:
+        return [line for line in fh.read().splitlines() if line.strip()]
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signal semantics")
+def test_sigint_leaves_resumable_store(tmp_path):
+    store = str(tmp_path / "campaign.jsonl")
+    cmd = [sys.executable, *CMD_TAIL, "--store", store]
+    proc = subprocess.Popen(
+        cmd, env=_env(), stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+    try:
+        # wait for the first completed trial to hit the store, then interrupt
+        deadline = time.time() + 120
+        while time.time() < deadline and not _lines(store):
+            if proc.poll() is not None:
+                pytest.fail(f"sweep exited early with {proc.returncode}")
+            time.sleep(0.05)
+        assert _lines(store), "no trial completed within the deadline"
+        proc.send_signal(signal.SIGINT)
+        proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert proc.returncode == 130
+    interrupted = _lines(store)
+    assert 0 < len(interrupted) < TRIALS, "interrupt should leave a partial store"
+
+    # resuming must run only the remainder and end with the full trial set
+    done = subprocess.run(
+        cmd, env=_env(), capture_output=True, text=True, timeout=300
+    )
+    assert done.returncode == 0
+    assert "resuming" in done.stderr
+    final = _lines(store)
+    assert len(final) == TRIALS
+    assert final[: len(interrupted)] == interrupted, "resume must append, not rewrite"

@@ -1,0 +1,154 @@
+"""Tests for the campaign pool: parallel == serial, resume, progress, fork_map."""
+
+import json
+
+import pytest
+
+from repro.analysis import run_trials
+from repro.exp import (
+    CampaignSpec,
+    ResultStore,
+    aggregate,
+    fork_map,
+    run_campaign,
+    run_trial,
+)
+from repro import BlanketJammer, MultiCast
+
+
+def small_campaign(**overrides):
+    kwargs = dict(
+        protocols=["multicast", "core"],
+        jammers=["blanket", "sweep"],
+        ns=[16],
+        budget=4000,
+        trials=3,
+        base_seed=11,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def aggregate_bytes(records) -> str:
+    """Canonical byte string of the aggregate statistics (the determinism oracle)."""
+    cells = aggregate(records)
+    return json.dumps(
+        [
+            {
+                "cell": list(c.cell),
+                "trials": c.trials,
+                "success_rate": c.success_rate,
+                "violations": c.violations,
+                "summaries": {m: s.__dict__ for m, s in sorted(c.summaries.items())},
+            }
+            for c in cells
+        ],
+        sort_keys=True,
+    )
+
+
+class TestRunTrial:
+    def test_reproducible_from_spec_alone(self):
+        (spec,) = small_campaign(protocols=["multicast"], jammers=["blanket"], trials=1).trial_specs()
+        a, b = run_trial(spec), run_trial(spec)
+        a.wall_time = b.wall_time = 0.0
+        assert a == b
+
+    def test_jammer_none_runs_clean(self):
+        (spec,) = small_campaign(protocols=["multicast"], jammers=["none"], trials=1).trial_specs()
+        rec = run_trial(spec)
+        assert rec.success and rec.adversary_spend == 0
+
+
+class TestRunCampaign:
+    def test_parallel_matches_serial_byte_identically(self):
+        c = small_campaign()
+        serial = run_campaign(c, workers=1)
+        parallel = run_campaign(c, workers=3)
+        assert aggregate_bytes(serial) == aggregate_bytes(parallel)
+
+    def test_records_cover_grid_in_key_order(self):
+        c = small_campaign(trials=2)
+        records = run_campaign(c, workers=2)
+        assert len(records) == len(c)
+        assert [r.key for r in records] == sorted(r.key for r in records)
+        assert {r.key for r in records} == {s.key() for s in c.trial_specs()}
+
+    def test_resume_skips_completed_trials(self, tmp_path):
+        c = small_campaign(protocols=["multicast"], trials=3)
+        path = tmp_path / "r.jsonl"
+        full = run_campaign(c, ResultStore(str(path)), workers=1)
+        # second run with the same store: nothing pending
+        ran = []
+        again = run_campaign(
+            c,
+            ResultStore(str(path)),
+            workers=1,
+            progress=lambda done, total, rec: ran.append(rec.key),
+        )
+        assert ran == []
+        assert aggregate_bytes(again) == aggregate_bytes(full)
+
+    def test_partial_store_resumes_to_identical_aggregates(self, tmp_path):
+        c = small_campaign(protocols=["multicast"], trials=4)
+        reference = run_campaign(c, workers=1)
+        # simulate an interrupt: only half the records made it to disk
+        path = tmp_path / "r.jsonl"
+        with ResultStore(str(path)) as store:
+            for rec in reference[: len(reference) // 2]:
+                store.append(rec)
+        ran = []
+        resumed = run_campaign(
+            c,
+            ResultStore(str(path)),
+            workers=2,
+            progress=lambda done, total, rec: ran.append(rec.key),
+        )
+        assert len(ran) == len(reference) - len(reference) // 2
+        assert aggregate_bytes(resumed) == aggregate_bytes(reference)
+
+    def test_shared_store_returns_only_campaign_records(self, tmp_path):
+        path = tmp_path / "shared.jsonl"
+        a = small_campaign(protocols=["multicast"], jammers=["blanket"], trials=2)
+        b = small_campaign(protocols=["core"], jammers=["sweep"], trials=2)
+        with ResultStore(str(path)) as store:
+            run_campaign(a, store, workers=1)
+        with ResultStore(str(path)) as store:
+            out = run_campaign(b, store, workers=1)
+        assert {r.key for r in out} == {s.key() for s in b.trial_specs()}
+        assert len(ResultStore(str(path))) == len(a) + len(b)
+
+    def test_progress_counts_pending_only(self, tmp_path):
+        c = small_campaign(protocols=["multicast"], jammers=["blanket"], trials=2)
+        seen = []
+        run_campaign(c, workers=1, progress=lambda d, t, r: seen.append((d, t)))
+        assert seen == [(1, 2), (2, 2)]
+
+
+class TestForkMap:
+    def test_order_and_closure_capture(self):
+        offset = 100
+        out = fork_map(lambda x: x + offset, list(range(20)), workers=4)
+        assert out == [x + 100 for x in range(20)]
+
+    def test_serial_fallback_identical(self):
+        fn = lambda x: x * x  # noqa: E731
+        assert fork_map(fn, range(8), workers=1) == fork_map(fn, range(8), workers=3)
+
+    def test_run_trials_workers_match_serial(self):
+        def batch(workers):
+            return run_trials(
+                lambda: MultiCast(16),
+                16,
+                lambda s: BlanketJammer(3000, channels=0.9, placement="random", seed=s),
+                trials=4,
+                base_seed=3,
+                workers=workers,
+            )
+
+        b1, b3 = batch(1), batch(3)
+        assert [r.slots for r in b1.results] == [r.slots for r in b3.results]
+        assert [r.max_cost for r in b1.results] == [r.max_cost for r in b3.results]
+        assert [r.adversary_spend for r in b1.results] == [
+            r.adversary_spend for r in b3.results
+        ]

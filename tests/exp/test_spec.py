@@ -1,0 +1,130 @@
+"""Tests for campaign/trial specs: grids, keys, seeds, JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.exp import CampaignSpec, TrialSpec, UnknownNameError
+
+
+class TestTrialSpec:
+    def test_key_is_stable_and_unique(self):
+        a = TrialSpec("multicast", "blanket", 64, 1000, trial=0, base_seed=7)
+        b = TrialSpec("multicast", "blanket", 64, 1000, trial=1, base_seed=7)
+        c = TrialSpec("multicast", "sweep", 64, 1000, trial=0, base_seed=7)
+        assert a.key() == "multicast/blanket/n64/T1000/s7/t0"
+        assert len({a.key(), b.key(), c.key()}) == 3
+
+    def test_aliases_canonicalize(self):
+        assert TrialSpec("mc", "blanket", 64, 0, 0, 0).protocol == "multicast"
+        assert TrialSpec("MultiCastAdv", "blanket", 64, 0, 0, 0).protocol == "adv"
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(UnknownNameError):
+            TrialSpec("carrier-pigeon", "blanket", 64, 0, 0, 0)
+        with pytest.raises(UnknownNameError):
+            TrialSpec("multicast", "emp", 64, 0, 0, 0)
+
+    def test_seeds_independent_and_identity_derived(self):
+        a = TrialSpec("multicast", "blanket", 64, 1000, trial=0, base_seed=7)
+        b = TrialSpec("multicast", "blanket", 64, 1000, trial=1, base_seed=7)
+        assert a.net_seed() != a.jammer_seed()
+        assert a.net_seed() != b.net_seed()
+        # identity, not object: a fresh equal spec derives the same seeds
+        again = TrialSpec("multicast", "blanket", 64, 1000, trial=0, base_seed=7)
+        assert again.net_seed() == a.net_seed()
+
+    def test_key_differentiates_measurement_settings(self):
+        base = TrialSpec("multicast", "blanket", 64, 1000, trial=0, base_seed=7)
+        capped = TrialSpec(
+            "multicast", "blanket", 64, 1000, trial=0, base_seed=7, max_slots=1000
+        )
+        knobbed = TrialSpec(
+            "multicast", "blanket", 64, 1000, trial=0, base_seed=7,
+            protocol_knobs={"a": 0.1},
+        )
+        rejammed = TrialSpec(
+            "multicast", "blanket", 64, 1000, trial=0, base_seed=7,
+            jammer_knobs={"channels": 0.5},
+        )
+        keys = {base.key(), capped.key(), knobbed.key(), rejammed.key()}
+        assert len(keys) == 4, "settings that change the measurement must change the key"
+        # default settings keep the short, stable key shape
+        assert base.key() == "multicast/blanket/n64/T1000/s7/t0"
+
+    def test_dict_round_trip(self):
+        a = TrialSpec("core", "bursts", 32, 500, trial=3, base_seed=1, channels=4)
+        assert TrialSpec.from_dict(a.to_dict()) == a
+
+
+class TestCampaignSpec:
+    def test_grid_size_and_order(self):
+        c = CampaignSpec(
+            protocols=["multicast", "core"],
+            jammers=["blanket", "sweep", "bursts"],
+            ns=[16, 32],
+            trials=4,
+        )
+        specs = c.trial_specs()
+        assert len(specs) == len(c) == 2 * 3 * 2 * 4
+        assert specs == c.trial_specs()  # deterministic order
+        assert len({s.key() for s in specs}) == len(specs)
+
+    def test_json_round_trip(self):
+        c = CampaignSpec(
+            protocols=["multicast"],
+            jammers=["blanket"],
+            ns=[64],
+            budget=12345,
+            trials=2,
+            base_seed=9,
+            protocol_knobs={"multicast": {"a": 0.01}},
+        )
+        back = CampaignSpec.from_json(c.to_json())
+        assert back == c
+        assert json.loads(c.to_json())["budget"] == 12345
+
+    def test_file_round_trip(self, tmp_path):
+        c = CampaignSpec(protocols=["core"], jammers=["none"], trials=1)
+        path = tmp_path / "spec.json"
+        c.save(path)
+        assert CampaignSpec.load(path) == c
+
+    def test_alias_keyed_knobs_canonicalize(self):
+        c = CampaignSpec(
+            protocols=["mc"],
+            jammers=["blanket"],
+            trials=1,
+            protocol_knobs={"mc": {"a": 0.01}},
+        )
+        (spec,) = c.trial_specs()
+        assert spec.protocol_knobs == {"a": 0.01}
+        # knobbed key must differ from the knob-free campaign's key
+        plain = CampaignSpec(protocols=["multicast"], jammers=["blanket"], trials=1)
+        assert spec.key() != plain.trial_specs()[0].key()
+
+    def test_unknown_knob_names_rejected(self):
+        with pytest.raises(UnknownNameError):
+            CampaignSpec(
+                protocols=["multicast"],
+                jammers=["blanket"],
+                protocol_knobs={"pigeon": {"a": 1}},
+            )
+
+    def test_knobs_reach_trials(self):
+        c = CampaignSpec(
+            protocols=["multicast"],
+            jammers=["blanket"],
+            trials=1,
+            protocol_knobs={"multicast": {"a": 0.01}},
+            jammer_knobs={"blanket": {"channels": 0.5}},
+        )
+        (spec,) = c.trial_specs()
+        assert spec.protocol_knobs == {"a": 0.01}
+        assert spec.jammer_knobs == {"channels": 0.5}
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(protocols=[], jammers=["blanket"])
+        with pytest.raises(ValueError):
+            CampaignSpec(protocols=["core"], jammers=["blanket"], trials=0)

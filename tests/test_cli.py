@@ -14,9 +14,13 @@ class TestFactories:
         assert isinstance(make_protocol("multicast_c", 16, C=2), MultiCastC)
         assert isinstance(make_protocol("adv", 16), MultiCastAdv)
 
-    def test_unknown_protocol_exits(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_protocol_exits_listing_choices(self):
+        with pytest.raises(SystemExit) as exc:
             make_protocol("carrier-pigeon", 16)
+        message = str(exc.value)
+        assert "carrier-pigeon" in message
+        for choice in ("core", "multicast", "multicast_c", "adv", "adv_c"):
+            assert choice in message
 
     def test_jammer_names(self):
         assert make_jammer("none", 100, seed=1) is None
@@ -24,9 +28,13 @@ class TestFactories:
         assert isinstance(make_jammer("blanket", 100, seed=1), BlanketJammer)
         assert isinstance(make_jammer("frontloaded", 100, seed=1), FrontLoadedJammer)
 
-    def test_unknown_jammer_exits(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_jammer_exits_listing_choices(self):
+        with pytest.raises(SystemExit) as exc:
             make_jammer("emp", 100, seed=1)
+        message = str(exc.value)
+        assert "emp" in message
+        for choice in ("blanket", "blackout", "bursts", "sweep", "random", "none"):
+            assert choice in message
 
 
 class TestCommands:
@@ -56,3 +64,110 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestSweep:
+    ARGS = [
+        "sweep", "--protocols", "multicast,core", "--jammers", "blanket,sweep",
+        "--n", "16", "--budget", "4000", "--trials", "2", "--quiet",
+    ]
+
+    def test_sweep_renders_cell_table(self, capsys):
+        rc = main(self.ARGS + ["--workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "protocol" in out and "cost/T" in out
+        # one row per (protocol, jammer) cell
+        for pair in ("core  blanket", "core    sweep", "multicast  blanket"):
+            assert pair in out
+
+    def test_sweep_serial_matches_parallel(self, capsys):
+        main(self.ARGS + ["--workers", "1"])
+        serial = capsys.readouterr().out
+        main(self.ARGS + ["--workers", "2"])
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_sweep_store_resumes(self, tmp_path, capsys):
+        store = str(tmp_path / "r.jsonl")
+        main(self.ARGS + ["--workers", "1", "--store", store])
+        first = capsys.readouterr().out
+        with open(store) as fh:
+            lines = len(fh.read().strip().splitlines())
+        assert lines == 2 * 2 * 2
+        # re-run: everything already stored, identical table, no new lines
+        main(self.ARGS + ["--workers", "1", "--store", store])
+        again = capsys.readouterr().out
+        assert again == first
+        with open(store) as fh:
+            assert len(fh.read().strip().splitlines()) == lines
+
+    def test_sweep_spec_file(self, tmp_path, capsys):
+        from repro.exp import CampaignSpec
+
+        path = tmp_path / "spec.json"
+        CampaignSpec(
+            protocols=["multicast"], jammers=["blanket"], ns=[16], budget=4000, trials=1
+        ).save(path)
+        rc = main(["sweep", "--spec", str(path), "--quiet", "--workers", "1"])
+        assert rc == 0
+        assert "multicast" in capsys.readouterr().out
+
+    def test_sweep_unknown_protocol_exits_with_choices(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--protocols", "pigeon", "--quiet"])
+        assert "pigeon" in str(exc.value) and "multicast" in str(exc.value)
+
+    def test_sweep_bad_grid_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="bad campaign spec"):
+            main(["sweep", "--trials", "0", "--quiet"])
+        with pytest.raises(SystemExit, match="bad campaign spec"):
+            main(["sweep", "--n", "abc", "--quiet"])
+
+    def test_sweep_spec_trials_override_is_validated(self, tmp_path):
+        from repro.exp import CampaignSpec
+
+        path = tmp_path / "spec.json"
+        CampaignSpec(protocols=["multicast"], jammers=["none"], ns=[16], trials=3).save(path)
+        with pytest.raises(SystemExit, match="bad campaign spec"):
+            main(["sweep", "--spec", str(path), "--trials", "0", "--quiet"])
+
+    def test_sweep_flags_override_spec(self, tmp_path, capsys):
+        from repro.exp import CampaignSpec
+
+        path = tmp_path / "spec.json"
+        CampaignSpec(
+            protocols=["multicast"], jammers=["blanket"], ns=[16], budget=4000, trials=2
+        ).save(path)
+        rc = main(
+            ["sweep", "--spec", str(path), "--budget", "2000", "--jammers", "sweep",
+             "--quiet", "--workers", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "budget 2,000" in out  # not the spec's 4,000
+        assert "sweep" in out and "blanket" not in out
+
+    def test_sweep_resume_message_counts_own_campaign_only(self, tmp_path, capsys):
+        store = str(tmp_path / "shared.jsonl")
+        base = ["--n", "16", "--budget", "4000", "--trials", "2",
+                "--workers", "1", "--store", store]
+        main(["sweep", "--protocols", "multicast", "--jammers", "blanket", *base])
+        capsys.readouterr()
+        # different campaign, same store: nothing of ITS trials is stored yet
+        main(["sweep", "--protocols", "core", "--jammers", "sweep", *base])
+        assert "resuming" not in capsys.readouterr().err
+        # same campaign again: now all 2 of its trials are stored
+        main(["sweep", "--protocols", "core", "--jammers", "sweep", *base])
+        assert "resuming: 2 stored trial(s)" in capsys.readouterr().err
+
+    def test_sweep_bad_spec_file_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read campaign spec"):
+            main(["sweep", "--spec", str(tmp_path / "nope.json")])
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"oops": 1}')
+        with pytest.raises(SystemExit, match="bad campaign spec"):
+            main(["sweep", "--spec", str(bad)])
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="bad campaign spec"):
+            main(["sweep", "--spec", str(bad)])
