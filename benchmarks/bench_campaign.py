@@ -14,13 +14,15 @@ per-cell aggregates.
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, smoke_mode
 from repro.analysis import render_table
 from repro.exp import CampaignSpec, aggregate, run_campaign
 
 N = 64
 T = 100_000
-TRIALS = 5  #: the committed record uses 20; the bench trades CI width for speed
+#: the committed record uses 20; the bench trades CI width for speed, and
+#: smoke mode (REPRO_BENCH_SMOKE=1) shrinks further to CI size
+TRIALS = 2 if smoke_mode() else 5
 
 
 def experiment():
@@ -57,8 +59,15 @@ def experiment():
 
 
 @pytest.mark.benchmark(group="campaign")
-def test_gallery_campaign(benchmark):
+def test_gallery_campaign(benchmark, bench_json):
     cells = run_once(benchmark, experiment)
+    bench_json.record(
+        config={"n": N, "budget": T, "trials_per_cell": TRIALS},
+        cells=len(cells),
+        success_rates={
+            f"{c.protocol}/{c.jammer}": c.success_rate for c in cells
+        },
+    )
     by_cell = {(c.protocol, c.jammer): c for c in cells}
 
     jammed = [j for j in ("blanket", "bursts", "sweep")]

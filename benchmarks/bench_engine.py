@@ -5,14 +5,24 @@ Timed kernels, with pytest-benchmark doing real statistical rounds here
 
 * dense block resolution (the Figs. 1/2/5 hot path);
 * sparse block resolution at 2^26 channels (the Fig. 4 hot path);
-* a full MultiCast broadcast end to end (slots/second figure of merit).
+* a full MultiCast broadcast end to end (slots/second figure of merit);
+* the lane-batched trial backend vs. the scalar loop — the figure the
+  committed ``BENCH_engine.json`` baseline tracks (DESIGN.md section 6).
+
+``REPRO_BENCH_JSON=<dir> pytest benchmarks/bench_engine.py`` regenerates the
+baseline; ``REPRO_BENCH_SMOKE=1`` shrinks everything to CI size.
 """
+
+import time
 
 import numpy as np
 import pytest
 
+from benchmarks.conftest import run_once, smoke_mode
 from repro import MultiCast, run_broadcast
+from repro.analysis.stats import run_trials
 from repro.core.runner import shared_coin_actions, spread_block
+from repro.exp.registry import build_jammer
 from repro.sim.channel import resolve_block
 from repro.sim.jam import JamBlock
 from repro.sim.rng import RandomFabric
@@ -42,7 +52,7 @@ def test_dense_resolution_throughput(benchmark, n):
 
 @pytest.mark.benchmark(group="EXP-ENG sparse")
 def test_sparse_resolution_huge_channel_space(benchmark):
-    K, n, C = 4096, 64, 1 << 26
+    K, n, C = (512 if smoke_mode() else 4096), 64, 1 << 26
     channels, actions = make_case(K, n, C, p=1 / 8)
     jam = JamBlock.from_rows(
         K, C, np.arange(0, K, 7, dtype=np.int64),
@@ -77,7 +87,72 @@ def test_full_broadcast_slots_per_second(benchmark):
     def run():
         return run_broadcast(MultiCast(64, a=0.05), 64, seed=3)
 
-    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    rounds = 1 if smoke_mode() else 3
+    result = benchmark.pedantic(run, rounds=rounds, iterations=1, warmup_rounds=0 if smoke_mode() else 1)
     assert result.success
     # figure of merit for the README: ~44k slots per run
     print(f"\n  [EXP-ENG] end-to-end run = {result.slots:,} slots")
+
+
+@pytest.mark.benchmark(group="EXP-ENG batched")
+def test_run_trials_batched_vs_scalar(benchmark, bench_json):
+    """The PR-2 acceptance figure: ``run_trials`` over the lane-batched
+    backend vs. the scalar loop at the gallery scale (``multicast``, n=64,
+    k=32 trials), unjammed and under the gallery's blanket jammer.
+
+    The committed ``benchmarks/BENCH_engine.json`` baseline demonstrates the
+    >= 3x speedup on the 1-core reference box; the in-test assertion is a
+    loose sanity floor so a loaded CI runner cannot flake the suite.
+    """
+    n = 64
+    trials = 8 if smoke_mode() else 32
+    budget = 100_000
+
+    def jammer_factory(name):
+        if name == "none":
+            return None
+        return lambda seed: build_jammer(name, budget, seed)
+
+    def experiment():
+        figures = {}
+        for jammer in ("none", "blanket"):
+            timings = {}
+            batches = {}
+            for backend in ("scalar", "batched"):
+                t0 = time.perf_counter()
+                batches[backend] = run_trials(
+                    lambda: MultiCast(n),
+                    n,
+                    jammer_factory(jammer),
+                    trials=trials,
+                    base_seed=1,
+                    label="bench-engine",
+                    backend=backend,
+                )
+                timings[backend] = time.perf_counter() - t0
+            # the backends must agree bit for bit before timing means anything
+            for a, b in zip(batches["scalar"].results, batches["batched"].results):
+                assert a.slots == b.slots
+                assert (a.node_energy == b.node_energy).all()
+                assert (a.informed_slot == b.informed_slot).all()
+            total_slots = int(batches["batched"].slots.sum())
+            figures[jammer] = {
+                "scalar_s": round(timings["scalar"], 3),
+                "batched_s": round(timings["batched"], 3),
+                "speedup": round(timings["scalar"] / timings["batched"], 2),
+                "trials_per_s_scalar": round(trials / timings["scalar"], 2),
+                "trials_per_s_batched": round(trials / timings["batched"], 2),
+                "slots_per_s_batched": round(total_slots / timings["batched"]),
+            }
+        return figures
+
+    figures = run_once(benchmark, experiment)
+    bench_json.record(
+        config={"protocol": "multicast", "n": n, "trials": trials, "budget": budget},
+        **figures,
+    )
+    print("\n  [EXP-ENG] batched vs scalar run_trials "
+          f"(n={n}, k={trials}): " + ", ".join(
+              f"{j}: {f['speedup']}x" for j, f in figures.items()))
+    for jammer, f in figures.items():
+        assert f["speedup"] > 1.2, (jammer, f)

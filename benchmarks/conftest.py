@@ -7,11 +7,44 @@ simulation), prints the paper-style result table to stdout, and asserts the
 *shape* of the claim (who wins, slopes, crossovers) — never absolute numbers.
 
 Run:  pytest benchmarks/ --benchmark-only -s
+
+Machine-readable mode
+---------------------
+Set ``REPRO_BENCH_JSON=<dir>`` to make every bench test emit its wall time —
+plus whatever extra figures it records via the ``bench_json`` fixture — into
+``<dir>/BENCH_<name>.json`` (one file per bench module, merged across tests).
+The committed ``benchmarks/BENCH_engine.json`` baseline and the CI
+benchmark-smoke artifacts are produced exactly this way.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the workloads (CI-sized: seconds, not
+minutes) — benches read the flag through :func:`smoke_mode` and scale their
+grids; the JSON notes ``"smoke": true`` so baselines and smoke artifacts are
+never confused.
+
+pytest-benchmark is optional: without the plugin a minimal ``benchmark``
+fixture stands in (single-shot execution, no statistics), so the smoke run
+only needs numpy + pytest.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
 import pytest
+
+#: env var naming the output directory for BENCH_<name>.json files
+BENCH_JSON_ENV = "REPRO_BENCH_JSON"
+#: env var (any non-empty value) selecting the reduced CI-sized workloads
+BENCH_SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+
+def smoke_mode() -> bool:
+    """True when benches should run their reduced (CI smoke) workloads."""
+    return bool(os.environ.get(BENCH_SMOKE_ENV))
 
 
 def run_once(benchmark, fn):
@@ -26,3 +59,79 @@ def run_once(benchmark, fn):
 
     benchmark.pedantic(wrapper, rounds=1, iterations=1, warmup_rounds=0)
     return box["result"]
+
+
+class BenchRecorder:
+    """Per-test payload collector behind the ``bench_json`` fixture."""
+
+    def __init__(self):
+        self.payload = {}
+
+    def record(self, **fields) -> None:
+        """Attach figures (config, wall times, slots/sec, ...) to this
+        test's entry in the module's BENCH_<name>.json."""
+        self.payload.update(fields)
+
+
+def _bench_name(module_path: Path) -> str:
+    name = module_path.stem
+    return name[len("bench_") :] if name.startswith("bench_") else name
+
+
+def _bench_file(module_path: Path) -> Path:
+    out_dir = Path(os.environ[BENCH_JSON_ENV])
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return out_dir / f"BENCH_{_bench_name(module_path)}.json"
+
+
+def _merge_result(module_path: Path, test_name: str, payload: dict) -> None:
+    path = _bench_file(module_path)
+    if path.exists():
+        data = json.loads(path.read_text())
+    else:
+        data = {"bench": _bench_name(module_path), "results": {}}
+    data["updated"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    data["smoke"] = smoke_mode()
+    data["results"][test_name] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(autouse=True)
+def bench_json(request):
+    """Autouse recorder: times every bench test, and (when REPRO_BENCH_JSON
+    is set) merges ``{wall_time_s, **recorded fields}`` into the module's
+    ``BENCH_<name>.json``.  Benches wanting richer entries accept the fixture
+    and call ``bench_json.record(...)``."""
+    recorder = BenchRecorder()
+    start = time.perf_counter()
+    yield recorder
+    wall = time.perf_counter() - start
+    if os.environ.get(BENCH_JSON_ENV):
+        _merge_result(
+            Path(request.node.fspath),
+            request.node.name,
+            {"wall_time_s": round(wall, 4), **recorder.payload},
+        )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "benchmark: pytest-benchmark grouping (inert without the plugin)"
+    )
+
+
+try:  # pragma: no cover - exercised only where the plugin is absent
+    import pytest_benchmark  # noqa: F401
+except ImportError:  # pragma: no cover
+    class _FallbackBenchmark:
+        """Single-shot stand-in for the pytest-benchmark fixture."""
+
+        def __call__(self, fn, *args, **kwargs):
+            return fn(*args, **kwargs)
+
+        def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1, warmup_rounds=0):
+            return fn(*args, **(kwargs or {}))
+
+    @pytest.fixture
+    def benchmark():
+        return _FallbackBenchmark()

@@ -7,6 +7,9 @@ oblivious jamming adversary, the paper's five broadcast protocols
 variants), a gallery of jamming strategies, classic baselines, and a parallel
 Monte Carlo campaign engine (:mod:`repro.exp`, ``python -m repro sweep``)
 that regenerates the paper's theorem-level claims with confidence intervals.
+Trial batches run through a lane-batched execution engine
+(:func:`run_broadcast_batch`, DESIGN.md section 6) that is bit-identical per
+trial to the scalar path and several times faster on a single core.
 
 Quickstart::
 
@@ -55,13 +58,15 @@ from repro.core import (
     multicast_spans,
     phase_intervals,
     run_broadcast,
+    run_broadcast_batch,
 )
-from repro.sim import RadioNetwork, RandomFabric, TraceRecorder
+from repro.sim import BatchNetwork, RadioNetwork, RandomFabric, TraceRecorder
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Adversary",
+    "BatchNetwork",
     "BlanketJammer",
     "BroadcastResult",
     "FractionalJammer",
@@ -89,5 +94,6 @@ __all__ = [
     "multicast_spans",
     "phase_intervals",
     "run_broadcast",
+    "run_broadcast_batch",
     "__version__",
 ]

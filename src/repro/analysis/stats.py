@@ -104,6 +104,14 @@ class TrialBatch:
         return Summary.of(getattr(self, metric))
 
 
+#: Default trials per lane-batched kernel pass.  The sender-keyed block
+#: kernel does most of the amortizing on its own, so the remaining trade is
+#: cache residency: each lane adds ``block_slots * n`` coin doubles to the
+#: per-block working set, and on the 1-core reference box small widths win
+#: (measured in BENCH_engine.json).  Raise on machines with room.
+DEFAULT_LANE_WIDTH = 2
+
+
 def run_trials(
     protocol_factory: Callable[[], object],
     n: int,
@@ -114,6 +122,8 @@ def run_trials(
     max_slots: int = 50_000_000,
     label: str = "",
     workers: int = 1,
+    backend: str = "auto",
+    lane_width: int = DEFAULT_LANE_WIDTH,
 ) -> TrialBatch:
     """Run ``trials`` fresh executions and collect the results.
 
@@ -134,19 +144,54 @@ def run_trials(
         seeds derive from ``(base_seed, label, t)`` alone and results come
         back in trial order, so any worker count produces the identical
         batch (1 = in-process serial loop).
+    backend:
+        ``"auto"`` (default) runs trials through the lane-batched engine
+        (:func:`repro.core.batch.run_broadcast_batch`) whenever
+        ``workers <= 1`` — on a single core, batching is the fast path and
+        multiprocessing buys nothing.  ``"batched"`` forces it;
+        ``"scalar"`` forces the per-trial loop / process pool.  Every
+        backend produces the identical batch: trial seeds depend only on
+        ``(base_seed, label, t)`` and the batched engine is bit-identical
+        per lane (DESIGN.md section 6).
+    lane_width:
+        Trials per batched kernel pass (memory/throughput knob; no effect
+        on results).
     """
+    if backend not in ("auto", "scalar", "batched"):
+        raise ValueError(f"unknown backend {backend!r} (auto, scalar, batched)")
+
+    def adversary_for(t: int):
+        if adversary_factory is None:
+            return None
+        return adversary_factory(derive_seed(base_seed, label, "eve", t))
+
+    def net_seed(t: int) -> int:
+        return derive_seed(base_seed, label, "net", t)
+
+    if backend == "batched" or (backend == "auto" and workers <= 1):
+        from repro.core.batch import run_broadcast_batch
+
+        lane_width = max(1, int(lane_width))
+        results: List[BroadcastResult] = []
+        for start in range(0, trials, lane_width):
+            chunk = range(start, min(start + lane_width, trials))
+            results.extend(
+                run_broadcast_batch(
+                    protocol_factory(),
+                    n,
+                    [adversary_for(t) for t in chunk],
+                    [net_seed(t) for t in chunk],
+                    max_slots=max_slots,
+                )
+            )
+        return TrialBatch(results=results)
 
     def one(t: int):
-        adversary = (
-            None
-            if adversary_factory is None
-            else adversary_factory(derive_seed(base_seed, label, "eve", t))
-        )
         return run_broadcast(
             protocol_factory(),
             n,
-            adversary,
-            seed=derive_seed(base_seed, label, "net", t),
+            adversary_for(t),
+            seed=net_seed(t),
             max_slots=max_slots,
         )
 

@@ -36,6 +36,19 @@ from repro.sim.trace import TraceRecorder
 __all__ = ["DecayBroadcast"]
 
 
+def _decay_actions(coins: np.ndarray, informed: np.ndarray, active: np.ndarray) -> np.ndarray:
+    """Decay action rule: uninformed nodes listen every slot; informed nodes
+    send iff their pre-scaled coin clears the slot's halved threshold (coins
+    arrive multiplied by 2^k, so the test is ``coin < 1``).  Lane-polymorphic
+    like the builders in :mod:`repro.core.runner`: statuses may be ``(n,)``
+    against ``(K, n)`` coins or ``(B, n)`` against ``(B, K, n)``."""
+    actions = np.zeros(coins.shape, dtype=np.int8)
+    np.copyto(actions, ACT_LISTEN, where=(~informed & active)[..., None, :])
+    send = (coins < 1.0) & (informed & active)[..., None, :]
+    actions[send] = ACT_SEND_MSG
+    return actions
+
+
 class DecayBroadcast:
     """Single-channel Decay baseline.
 
@@ -81,13 +94,7 @@ class DecayBroadcast:
         # (send iff coin < 2^-k  <=>  coin·2^k < 1), keeping the builder
         # offset-free.
         scale = (2.0 ** np.arange(L, dtype=np.float64))[:, None]  # (L, 1)
-
-        def build(coins: np.ndarray, informed_now: np.ndarray, active_now: np.ndarray) -> np.ndarray:
-            actions = np.zeros(coins.shape, dtype=np.int8)
-            actions[:, ~informed_now & active_now] = ACT_LISTEN  # listeners are uninformed
-            send = (coins < 1.0) & (informed_now & active_now)[None, :]
-            actions[send] = ACT_SEND_MSG
-            return actions
+        build = _decay_actions
 
         epochs_run = 0
         try:
@@ -138,3 +145,68 @@ class DecayBroadcast:
             periods=epochs_run,
             extras={"round_slots": L, "epochs": self.epochs},
         )
+
+    def run_batch(self, bnet) -> list:
+        """Lane-batched :meth:`run` (bit-identical per lane for the same
+        seed).  Decay is the easiest protocol to batch: every lane runs
+        exactly ``epochs`` rounds of ``lg n`` slots, so lanes only ever leave
+        the batch on a (rare) per-lane slot-limit overrun."""
+        from repro.core.runner import spread_block_batch
+
+        if bnet.n != self.n:
+            raise ValueError(f"batch network has n={bnet.n}, protocol built for n={self.n}")
+        n, L, B = self.n, self.round_slots, bnet.B
+        informed = np.zeros((B, n), dtype=bool)
+        informed[:, 0] = True
+        active = np.ones((B, n), dtype=bool)
+        informed_slot = np.full((B, n), -1, dtype=np.int64)
+        informed_slot[:, 0] = 0
+        completed = np.ones(B, dtype=bool)
+        epochs_run = np.zeros(B, dtype=np.int64)
+        live = np.ones(B, dtype=bool)
+        scale = (2.0 ** np.arange(L, dtype=np.float64))[None, :, None]  # (1, L, 1)
+
+        for _ in range(self.epochs):
+            lane_ids = np.nonzero(live)[0]
+            if lane_ids.size == 0:
+                break
+            channels = np.zeros((lane_ids.size, L, n), dtype=np.int32)  # single channel
+            coins = bnet.draw_coins(lane_ids, L) * scale
+            jam = bnet.draw_jamming(lane_ids, L, 1)
+            sub_slot = informed_slot[lane_ids]
+            out = spread_block_batch(
+                channels,
+                coins,
+                jam,
+                informed[lane_ids],
+                active[lane_ids],
+                _decay_actions,
+                slot0=bnet.clocks[lane_ids],
+                informed_slot=sub_slot,
+            )
+            overrun = bnet.commit_block(lane_ids, out.actions)
+            informed_slot[lane_ids] = sub_slot
+            # the scalar path raises before adopting statuses, so overrun
+            # lanes keep their pre-block informed set
+            completed[lane_ids[overrun]] = False
+            live[lane_ids[overrun]] = False
+            lane_ids = lane_ids[~overrun]
+            informed[lane_ids] = out.informed[~overrun]
+            epochs_run[lane_ids] += 1
+
+        return [
+            BroadcastResult(
+                protocol=self.name,
+                n=n,
+                slots=int(bnet.clocks[lane]),
+                completed=bool(completed[lane]),
+                informed_slot=informed_slot[lane].copy(),
+                halt_slot=np.full(n, int(bnet.clocks[lane]), dtype=np.int64),
+                node_energy=bnet.energy.lane_node_cost(lane),
+                adversary_spend=bnet.energy.lane_adversary_spend(lane),
+                halted_uninformed=int((~informed[lane]).sum()),
+                periods=int(epochs_run[lane]),
+                extras={"round_slots": L, "epochs": self.epochs},
+            )
+            for lane in range(B)
+        ]

@@ -30,6 +30,16 @@ from repro.sim.trace import TraceRecorder
 __all__ = ["NaiveEpidemic"]
 
 
+def _epidemic_actions(coins: np.ndarray, informed: np.ndarray, active: np.ndarray) -> np.ndarray:
+    """Always-on rule: active informed nodes broadcast, active uninformed
+    nodes listen, inactive nodes idle.  Lane-polymorphic like the builders in
+    :mod:`repro.core.runner` (statuses broadcast as ``status[..., None, :]``)."""
+    actions = np.zeros(coins.shape, dtype=np.int8)
+    np.copyto(actions, ACT_LISTEN, where=(active & ~informed)[..., None, :])
+    np.copyto(actions, ACT_SEND_MSG, where=(active & informed)[..., None, :])
+    return actions
+
+
 class NaiveEpidemic:
     """The introduction's epidemic scheme with p = 1 and oracle termination.
 
@@ -74,11 +84,7 @@ class NaiveEpidemic:
         if trace is not None:
             trace.record_growth(0, 1)
 
-        def build(coins: np.ndarray, informed_now: np.ndarray, active_now: np.ndarray) -> np.ndarray:
-            actions = np.full(coins.shape, ACT_LISTEN, dtype=np.int8)
-            actions[:, informed_now] = ACT_SEND_MSG
-            actions[:, ~active_now] = 0
-            return actions
+        build = _epidemic_actions
 
         blocks = 0
         linger_left: Optional[int] = None
@@ -137,3 +143,101 @@ class NaiveEpidemic:
             periods=blocks,
             extras={"num_channels": C, "oracle_termination": True},
         )
+
+    def run_batch(self, bnet) -> list:
+        """Lane-batched :meth:`run` (bit-identical per lane for the same
+        seed).
+
+        Naive's block length is lane-local: it shrinks when a lane nears its
+        slot budget or counts down a linger allowance.  Each step therefore
+        groups live lanes by their next K and batches each group — usually
+        one group of everyone at ``block_slots``; the grouping cannot perturb
+        results because a lane's draws come from its own generator in its own
+        block order regardless of which group ran first.
+        """
+        from repro.core.runner import spread_block_batch
+
+        if bnet.n != self.n:
+            raise ValueError(f"batch network has n={bnet.n}, protocol built for n={self.n}")
+        n, C, B = self.n, self.num_channels, bnet.B
+        informed = np.zeros((B, n), dtype=bool)
+        informed[:, 0] = True
+        active = np.ones((B, n), dtype=bool)
+        informed_slot = np.full((B, n), -1, dtype=np.int64)
+        informed_slot[:, 0] = 0
+        completed = np.ones(B, dtype=bool)
+        blocks = np.zeros(B, dtype=np.int64)
+        linger_left = np.full(B, -1, dtype=np.int64)  # -1 = oracle not fired yet
+        live = np.ones(B, dtype=bool)
+
+        while live.any():
+            lane_ids = np.nonzero(live)[0]
+            clocks = bnet.clocks[lane_ids]
+            exhausted = clocks >= self.max_slots_budget
+            if exhausted.any():
+                completed[lane_ids[exhausted]] = False
+                live[lane_ids[exhausted]] = False
+                lane_ids = lane_ids[~exhausted]
+                clocks = clocks[~exhausted]
+                if lane_ids.size == 0:
+                    break
+            lane_K = np.minimum(self.block_slots, self.max_slots_budget - clocks)
+            lingering = linger_left[lane_ids] >= 0
+            lane_K = np.where(
+                lingering, np.minimum(lane_K, linger_left[lane_ids]), lane_K
+            )
+            lane_K = np.maximum(1, lane_K)
+            for K in np.unique(lane_K):
+                group = lane_ids[lane_K == K]
+                K = int(K)
+                channels = bnet.draw_channels(group, K, C)
+                coins = bnet.draw_coins(group, K)
+                jam = bnet.draw_jamming(group, K, C)
+                sub_slot = informed_slot[group]
+                out = spread_block_batch(
+                    channels,
+                    coins,
+                    jam,
+                    informed[group],
+                    active[group],
+                    _epidemic_actions,
+                    slot0=bnet.clocks[group],
+                    informed_slot=sub_slot,
+                )
+                overrun = bnet.commit_block(group, out.actions)
+                informed_slot[group] = sub_slot
+                # the scalar path raises before adopting statuses, so
+                # overrun lanes keep their pre-block informed set
+                completed[group[overrun]] = False
+                live[group[overrun]] = False
+                group = group[~overrun]
+                informed[group] = out.informed[~overrun]
+                blocks[group] += 1
+                # Per-lane oracle/linger bookkeeping (the scalar loop's tail).
+                for lane in group[informed[group].all(axis=1)]:
+                    if linger_left[lane] < 0:
+                        overshoot = int(bnet.clocks[lane]) - int(informed_slot[lane].max())
+                        linger_left[lane] = max(0, self.linger - overshoot)
+                    else:
+                        linger_left[lane] -= K
+                    if linger_left[lane] <= 0:
+                        live[lane] = False
+
+        return [
+            BroadcastResult(
+                protocol=self.name,
+                n=n,
+                slots=int(bnet.clocks[lane]),
+                completed=bool(completed[lane]),
+                informed_slot=informed_slot[lane].copy(),
+                halt_slot=np.full(n, int(bnet.clocks[lane]), dtype=np.int64),
+                node_energy=bnet.energy.lane_node_cost(lane),
+                adversary_spend=bnet.energy.lane_adversary_spend(lane),
+                halted_uninformed=(
+                    int((~informed[lane]).sum()) if not completed[lane] else 0
+                ),
+                periods=int(blocks[lane]),
+                extras={"num_channels": C, "oracle_termination": True},
+            )
+            for lane in range(B)
+        ]

@@ -15,6 +15,7 @@ literal implementations live in :mod:`repro.core.reference` for differential
 testing.
 """
 
+from repro.core.batch import run_broadcast_batch
 from repro.core.limited import MultiCastAdvC, MultiCastC, effective_channels
 from repro.core.multicast import MultiCast
 from repro.core.multicast_adv import MultiCastAdv
@@ -44,4 +45,5 @@ __all__ = [
     "multicast_spans",
     "phase_intervals",
     "run_broadcast",
+    "run_broadcast_batch",
 ]

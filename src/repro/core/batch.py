@@ -1,0 +1,399 @@
+"""Batched (lane-axis) trial execution — many seeded runs, one kernel pass.
+
+Every statistic this reproduction reports is a rate over independently
+seeded trials, and on a single core the only remaining speed lever is
+amortizing per-block interpreter and kernel overhead across those trials.
+This module is the protocol-layer half of that move (DESIGN.md section 6):
+
+* :func:`_shared_coin_block` — the lane-batched block kernel for the
+  shared-coin action rule (Figs. 1/2/5).  The iteration loop never consumes
+  action or feedback *matrices* — only per-node listen/send/noise totals,
+  the informing events, and the resulting statuses — and under the shared
+  coin all of those are pure functions of the ~2pKn draws that clear the
+  participation coin.  So the kernel extracts those participants once,
+  resolves the "uninformed node heard m" cascade as a vectorized
+  fixed-point over per-node informing rows, and reduces the counters in one
+  sender-keyed pass — no ``resolve_block``, no ``(B, K, n)`` action/feedback
+  materialization, one flat key space ``lane*K*C + slot*C + channel``.
+* :func:`run_iterations_batch` — the lane-batched counterpart of the shared
+  iteration loop used by ``MultiCastCore`` (Fig. 1), ``MultiCast`` (Fig. 2)
+  and ``MultiCast(C)`` (Fig. 5): all protocols whose periods are iterations
+  of R slots with a shared-coin action rule and a noisy-slot halting test.
+  Lanes run the same iteration schedule in lockstep; a lane that halts (or
+  overruns ``max_slots``) is masked out of subsequent blocks rather than
+  blocking the batch.
+* :func:`run_broadcast_batch` — the batch analogue of
+  :func:`repro.core.result.run_broadcast`: build one
+  :class:`repro.sim.engine.BatchNetwork` over per-lane seeds/adversaries and
+  dispatch to the protocol's ``run_batch``; protocols without one (only
+  ``MultiCastAdv`` today) silently fall back to a scalar per-lane loop, so
+  call sites never need to care.
+
+Determinism contract (enforced by ``tests/core/test_batch_equivalence.py``):
+lane ``l`` is **bit-identical** to the scalar execution with the same
+``(seed, adversary)`` — same slots, statuses, event slots, energy books and
+extras — because each lane draws from its own generator in the same order,
+and the kernel computes exactly the quantities the scalar resolver would
+(section 6 of DESIGN.md walks through the argument).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.result import BroadcastResult, run_broadcast
+from repro.sim.engine import BatchNetwork
+from repro.sim.jam import JamBlock
+
+__all__ = ["run_broadcast_batch", "run_iterations_batch"]
+
+#: ``schedule(i) -> (R, p, threshold)``: iteration i's length, listen
+#: probability and halting threshold (halt iff noisy-slot count < threshold).
+IterationSchedule = Callable[[int], Tuple[int, float, float]]
+
+
+def _shared_coin_block(
+    channels: np.ndarray,
+    coins: np.ndarray,
+    jam: JamBlock,
+    informed: np.ndarray,
+    active: np.ndarray,
+    p: float,
+    *,
+    slot0: np.ndarray,
+    slot_scale: int = 1,
+    informed_slot: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Resolve one block of every lane under the shared-coin rule, returning
+    ``(listen_counts, send_counts, noise_counts, informed)``.
+
+    Inputs are lane-stacked: ``channels``/``coins`` are ``(L, K, n)``,
+    ``informed``/``active``/``informed_slot`` are ``(L, n)`` (the latter
+    updated in place with event slots), ``jam`` is the lanes' stacked
+    :class:`~repro.sim.jam.JamBlock` of ``L*K`` rows in the same lane order,
+    and ``slot0`` holds each lane's global slot of row 0.
+
+    The computation is exact — bit-identical to building the action matrix,
+    calling :func:`repro.sim.channel.resolve_block` and reducing, per lane —
+    but touches only the draws that clear the participation coin:
+
+    1.  **Participants.**  A node acts iff its coin < 2p (listen below p,
+        broadcast — when informed — in [p, 2p)); everything below works on
+        the ``(lane, row, node)`` triples of those hits.  Listen energy is
+        status-independent and counted immediately.
+    2.  **Event cascade.**  Whether a broadcast-coin hit is a real broadcast
+        depends on when its node learned ``m``, captured as a per-node
+        *informing row* (-1 = knew at block entry, K = not yet).  An
+        uninformed listener hears ``m`` iff its (row, channel) cell has
+        exactly one current broadcaster and no jamming, and the earliest
+        such row per lane is that lane's next event — which adds
+        broadcasters at later rows only, so iterating "detect earliest event
+        per lane -> record informing rows -> re-detect past it" reaches the
+        same fixed point the scalar tail re-resolution loop does, with every
+        lane advancing per pass.
+    3.  **Counters.**  With informing rows final, a broadcast-coin hit is a
+        send iff its row is later than its node's informing row, and a
+        listen is noisy iff its cell is jammed or holds >= 2 such sends —
+        one sorted-key count plus one lookup over the listen hits.
+    """
+    L, K, n = coins.shape
+    C = jam.C
+    if active.all():  # nobody has halted yet — the common early-run case
+        hit = coins < 2 * p
+    else:
+        hit = (coins < 2 * p) & active[:, None, :]
+    # One flat extraction pass; the raveled gathers below walk memory in
+    # increasing order, which matters more than it looks at these sizes.
+    flat = np.flatnonzero(hit)
+    lane = flat // (K * n)
+    row = (flat // n) % K
+    node = flat % n
+    is_listen = coins.ravel()[flat] < p
+    node_key = lane * n + node
+    cell = (lane * np.int64(K) + row) * np.int64(C) + channels.ravel()[flat]
+    listen_counts = np.bincount(node_key[is_listen], minlength=L * n).reshape(L, n)
+    # Jamming at listen cells, once for the whole block (binary search in the
+    # stacked block's key space).
+    jam_at = np.zeros(lane.shape[0], dtype=bool)
+    jam_at[is_listen] = jam.lookup_keys(cell[is_listen])
+
+    NEVER = np.int64(K)  # sentinel informing row: not informed in this block
+    informing_row = np.where(informed, np.int64(-1), NEVER)  # (L, n)
+
+    def sends_now():
+        return ~is_listen & (row > informing_row[lane, node])
+
+    def broadcasters_at(query_cells: np.ndarray, send_mask: np.ndarray) -> np.ndarray:
+        """Current broadcaster count at each queried cell."""
+        send_cells = np.sort(cell[send_mask])
+        if not send_cells.size:
+            return np.zeros(query_cells.shape[0], dtype=np.int64)
+        lo = np.searchsorted(send_cells, query_cells, side="left")
+        hi = np.searchsorted(send_cells, query_cells, side="right")
+        return hi - lo
+
+    frontier = np.full(L, -1, dtype=np.int64)  # rows <= frontier are settled
+    while True:
+        informing_at_hit = informing_row[lane, node]
+        learners = (
+            is_listen & (informing_at_hit == NEVER) & (row > frontier[lane])
+        )
+        if not learners.any():
+            break
+        sends = ~is_listen & (row > informing_at_hit)
+        count = broadcasters_at(cell[learners], sends)
+        heard = (count == 1) & ~jam_at[learners]
+        if not heard.any():
+            break
+        learner_idx = np.nonzero(learners)[0]
+        heard_idx = learner_idx[heard]
+        heard_lane = lane[heard_idx]
+        heard_row = row[heard_idx]
+        heard_node = node[heard_idx]
+        # Optimistic acceptance.  A hearing is *cell-safe* — no
+        # later-resolved event can flip its own cell — iff no
+        # still-uninformed node holds a broadcast coin on it: those are the
+        # only broadcasts the cascade can still add (or, by collision,
+        # remove).  That is not sufficient on its own: the *same node* may
+        # have an earlier listen that is still volatile (pending hearing,
+        # or a cell a future broadcast could turn into one), and the node
+        # must inform at its earliest hearing — so a cell-safe hearing is
+        # accepted only when it is the node's earliest volatile listen.
+        # The earliest hearing per lane is additionally always definitive
+        # (np.nonzero order is (lane, row, node)-sorted, so the first index
+        # per lane is its earliest row): events only add broadcasts at rows
+        # past the informing row, and no event precedes the earliest
+        # hearing.  Accepted events therefore cannot interfere with one
+        # another, and a typical block settles in a couple of passes
+        # instead of one per event row.
+        potential = np.sort(cell[~is_listen & (informing_at_hit == NEVER)])
+        learner_cells = cell[learner_idx]
+        exposed = (
+            np.searchsorted(potential, learner_cells, side="right")
+            - np.searchsorted(potential, learner_cells, side="left")
+        ) > 0
+        cell_safe = ~exposed[heard]
+        # first volatile listen row, computed only for the nodes that have a
+        # cell-safe hearing to validate (np.minimum.at is an unbuffered
+        # per-element loop; keep its input tiny)
+        candidate_keys = np.unique(
+            heard_lane[cell_safe] * n + heard_node[cell_safe]
+        )
+        volatile = exposed | heard
+        vol_idx = learner_idx[volatile]
+        vol_keys = lane[vol_idx] * n + node[vol_idx]
+        relevant = vol_idx[
+            vol_keys == candidate_keys[
+                np.minimum(
+                    np.searchsorted(candidate_keys, vol_keys),
+                    max(0, candidate_keys.size - 1),
+                )
+            ]
+        ] if candidate_keys.size else vol_idx[:0]
+        first_volatile = np.full((L, n), NEVER, dtype=np.int64)
+        np.minimum.at(
+            first_volatile, (lane[relevant], node[relevant]), row[relevant]
+        )
+        safe = cell_safe & (heard_row == first_volatile[heard_lane, heard_node])
+        event_lanes, first = np.unique(heard_lane, return_index=True)
+        first_row = np.full(L, NEVER, dtype=np.int64)
+        first_row[event_lanes] = heard_row[first]
+        definitive = safe | (heard_row == first_row[heard_lane])
+        ev_lane = heard_lane[definitive]
+        ev_row = heard_row[definitive]
+        ev_node = heard_node[definitive]
+        # A node can still carry two accepted hearings (lane-first plus a
+        # later cell-safe one); it informs at the earliest, hence minimum
+        # rather than last-write-wins.
+        np.minimum.at(informing_row, (ev_lane, ev_node), ev_row)
+        # New broadcasts appear only at rows past this pass's earliest
+        # hearing, so nothing below it can still change.
+        frontier[event_lanes] = heard_row[first]
+
+    if informed_slot is not None:
+        new_lane, new_node = np.nonzero((informing_row >= 0) & (informing_row < NEVER))
+        informed_slot[new_lane, new_node] = (
+            slot0[new_lane] + informing_row[new_lane, new_node] * slot_scale
+        )
+
+    sends = sends_now()
+    send_counts = np.bincount(node_key[sends], minlength=L * n).reshape(L, n)
+    count = broadcasters_at(cell[is_listen], sends)
+    noisy = jam_at[is_listen] | (count >= 2)
+    noise_counts = np.bincount(
+        node_key[is_listen][noisy], minlength=L * n
+    ).reshape(L, n)
+    return listen_counts, send_counts, noise_counts, informing_row < NEVER
+
+
+def run_iterations_batch(
+    proto,
+    bnet: BatchNetwork,
+    *,
+    first_index: int,
+    schedule: IterationSchedule,
+    make_extras: Callable[[int], dict],
+    slots_per_row: int = 1,
+    draw_jamming=None,
+    count_at_entry: bool = False,
+) -> List[BroadcastResult]:
+    """Run the shared iteration loop for every lane of ``bnet`` in lockstep.
+
+    Mirrors ``repro.core.multicast._run_multicast_iterations`` lane-by-lane:
+    while a lane still has active nodes it keeps entering iterations, and
+    since every lane starts at ``first_index`` all live lanes are always on
+    the *same* iteration — so they share R, p and the block structure, and
+    the whole batch advances through one sequence of draw/resolve/commit
+    calls, with each block resolved by :func:`_shared_coin_block`.
+    ``proto`` supplies ``n``, ``num_channels``, ``block_slots``,
+    ``max_iterations`` and ``name``; ``make_extras(lane_iterations)`` builds
+    the per-lane extras dict.
+
+    ``draw_jamming(lane_ids, rows)`` may override the jam source (the Fig. 5
+    physical-to-virtual relabeling); the default draws on
+    ``proto.num_channels`` directly.
+
+    ``count_at_entry`` mirrors a bookkeeping difference between the scalar
+    runners: ``MultiCastCore`` increments its iteration counter on *entering*
+    an iteration (so a lane truncated mid-iteration reports the partial one
+    in ``periods``), ``MultiCast`` on completing it.
+    """
+    n = proto.n
+    C = proto.num_channels
+    if bnet.n != n:
+        raise ValueError(f"batch network has n={bnet.n}, protocol built for n={n}")
+    if draw_jamming is None:
+        draw_jamming = lambda lane_ids, rows: bnet.draw_jamming(lane_ids, rows, C)  # noqa: E731
+
+    B = bnet.B
+    informed = np.zeros((B, n), dtype=bool)
+    informed[:, 0] = True
+    active = np.ones((B, n), dtype=bool)
+    informed_slot = np.full((B, n), -1, dtype=np.int64)
+    informed_slot[:, 0] = 0
+    halt_slot = np.full((B, n), -1, dtype=np.int64)
+    halted_uninformed = np.zeros(B, dtype=np.int64)
+    completed = np.ones(B, dtype=bool)
+    iterations_run = np.zeros(B, dtype=np.int64)
+    live = np.ones(B, dtype=bool)
+    i = first_index
+
+    while live.any():
+        if proto.max_iterations is not None and int(iterations_run[live].max()) >= proto.max_iterations:
+            completed[live] = False
+            break
+        R, p, threshold = schedule(i)
+        noisy = np.zeros((B, n), dtype=np.int64)
+        lane_ids = np.nonzero(live)[0]
+        remaining = R
+        while remaining > 0 and lane_ids.size:
+            K = min(proto.block_slots, remaining)
+            channels = bnet.draw_channels(lane_ids, K, C)
+            coins = bnet.draw_coins(lane_ids, K)
+            jam = draw_jamming(lane_ids, K)
+            sub_slot = informed_slot[lane_ids]
+            listen_counts, send_counts, block_noise, new_informed = _shared_coin_block(
+                channels,
+                coins,
+                jam,
+                informed[lane_ids],
+                active[lane_ids],
+                p,
+                slot0=bnet.clocks[lane_ids],
+                slot_scale=slots_per_row,
+                informed_slot=sub_slot,
+            )
+            overrun = bnet.commit_counts(
+                lane_ids, listen_counts, send_counts, K, slots_per_row=slots_per_row
+            )
+            # informed_slot is adopted even for a lane whose commit overran
+            # (the scalar path raises *after* the event loop's in-place
+            # update); informed/noisy updates belong to survivors only,
+            # matching where the scalar exception lands.
+            informed_slot[lane_ids] = sub_slot
+            if overrun.any():
+                dead = lane_ids[overrun]
+                completed[dead] = False
+                live[dead] = False
+                if count_at_entry:  # the partial iteration counts (Fig. 1)
+                    iterations_run[dead] += 1
+                lane_ids = lane_ids[~overrun]
+                new_informed = new_informed[~overrun]
+                block_noise = block_noise[~overrun]
+            informed[lane_ids] = new_informed
+            noisy[lane_ids] += block_noise
+            remaining -= K
+        if lane_ids.size:
+            halt_now = active[lane_ids] & (noisy[lane_ids] < threshold)  # (L, n)
+            halted_uninformed[lane_ids] += (halt_now & ~informed[lane_ids]).sum(axis=1)
+            lane_halt = halt_slot[lane_ids]
+            lane_clocks = bnet.clocks[lane_ids]
+            lane_halt[halt_now] = np.broadcast_to(lane_clocks[:, None], lane_halt.shape)[halt_now]
+            halt_slot[lane_ids] = lane_halt
+            active[lane_ids] &= ~halt_now
+            iterations_run[lane_ids] += 1
+            finished = ~active[lane_ids].any(axis=1)
+            live[lane_ids[finished]] = False
+        i += 1
+
+    return [
+        BroadcastResult(
+            protocol=proto.name,
+            n=n,
+            slots=int(bnet.clocks[lane]),
+            completed=bool(completed[lane]) and not active[lane].any(),
+            informed_slot=informed_slot[lane].copy(),
+            halt_slot=halt_slot[lane].copy(),
+            node_energy=bnet.energy.lane_node_cost(lane),
+            adversary_spend=bnet.energy.lane_adversary_spend(lane),
+            halted_uninformed=int(halted_uninformed[lane]),
+            periods=int(iterations_run[lane]),
+            extras=make_extras(int(iterations_run[lane])),
+        )
+        for lane in range(B)
+    ]
+
+
+def run_broadcast_batch(
+    protocol,
+    n: int,
+    adversaries: Optional[Sequence] = None,
+    seeds: Sequence[int] = (0,),
+    *,
+    max_slots: int = 50_000_000,
+) -> List[BroadcastResult]:
+    """Run one execution per lane — ``len(seeds)`` trials in one batch.
+
+    The batch analogue of :func:`repro.core.result.run_broadcast`: lane ``l``
+    runs ``protocol`` against ``adversaries[l]`` (reset first) under seed
+    ``seeds[l]``, and the returned list matches what ``B`` scalar
+    ``run_broadcast`` calls would produce, result for result.
+
+    Protocols advertise batch support with a ``run_batch(bnet)`` method
+    (``MultiCast``, ``MultiCast(C)``, ``MultiCastCore`` and the baselines
+    have one); anything else — ``MultiCastAdv`` keeps its scalar engine for
+    now — transparently falls back to a per-lane scalar loop behind the same
+    interface, so callers pick the entry point by workload shape alone.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one lane (seed)")
+    if adversaries is None:
+        adversaries = [None] * len(seeds)
+    adversaries = list(adversaries)
+    if len(adversaries) != len(seeds):
+        raise ValueError(
+            f"{len(adversaries)} adversaries for {len(seeds)} seeds (need one per lane)"
+        )
+    if not hasattr(protocol, "run_batch"):
+        return [
+            run_broadcast(protocol, n, adversary, seed=seed, max_slots=max_slots)
+            for adversary, seed in zip(adversaries, seeds)
+        ]
+    for adversary in adversaries:
+        if adversary is not None:
+            adversary.reset()
+    bnet = BatchNetwork(n, seeds, adversaries, max_slots=max_slots)
+    return protocol.run_batch(bnet)

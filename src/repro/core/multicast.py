@@ -103,6 +103,37 @@ class MultiCast:
             raise ValueError(f"network has n={net.n}, protocol built for n={self.n}")
         return _run_multicast_iterations(self, net, trace=trace)
 
+    def run_batch(self, bnet) -> list:
+        """Execute one broadcast per lane of a
+        :class:`repro.sim.engine.BatchNetwork` — bit-identical per lane to
+        :meth:`run` under the same seed (DESIGN.md section 6)."""
+        from repro.core.batch import run_iterations_batch
+
+        return run_iterations_batch(
+            self,
+            bnet,
+            first_index=self.start_iteration,
+            schedule=self._iteration_schedule,
+            make_extras=self._batch_extras,
+        )
+
+    def _iteration_schedule(self, i: int) -> tuple:
+        """(R_i, p_i, halt threshold) for iteration ``i``."""
+        R = self.iteration_length(i)
+        p = self.listen_prob(i)
+        return R, p, R * p * self.NOISE_THRESHOLD
+
+    def _batch_extras(self, iterations: int) -> dict:
+        """Per-lane extras matching the scalar runner's, given the lane's
+        iteration count."""
+        return {
+            "num_channels": self.num_channels,
+            "first_iteration": self.start_iteration,
+            "last_iteration": (
+                self.start_iteration + iterations - 1 if iterations else None
+            ),
+        }
+
 
 def _run_multicast_iterations(
     proto,

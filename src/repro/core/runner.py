@@ -16,6 +16,11 @@ iterations.
 
 ``MultiCastAdv`` step two freezes statuses mid-step (paper section 6.2), which
 is the no-event special case: one resolve per block.
+
+The lane-batched counterpart :func:`spread_block_batch` runs ``B``
+independent trials through shared kernel passes (DESIGN.md section 6); the
+shared-coin protocols go further and skip matrix materialization entirely
+via :mod:`repro.core.batch`.
 """
 
 from __future__ import annotations
@@ -42,14 +47,20 @@ from repro.sim.trace import TraceRecorder
 __all__ = [
     "ActionBuilder",
     "BlockOutcome",
+    "BatchBlockOutcome",
     "shared_coin_actions",
     "adv_step_one_actions",
     "adv_step_two_actions",
     "spread_block",
+    "spread_block_batch",
     "count_feedback",
 ]
 
-#: Maps ``(coins, informed, active)`` to an ``(K, n)`` action matrix.
+#: Maps ``(coins, informed, active)`` to an action matrix.  Builders are
+#: shape-polymorphic over an optional leading lane axis: with ``(K, n)``
+#: coins and ``(n,)`` statuses they return ``(K, n)`` actions; with
+#: ``(B, K, n)`` coins and ``(B, n)`` statuses, ``(B, K, n)`` — the status
+#: vectors broadcast as ``status[..., None, :]`` against the coins.
 ActionBuilder = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
 
 
@@ -63,9 +74,9 @@ def shared_coin_actions(p: float) -> ActionBuilder:
 
     def build(coins: np.ndarray, informed: np.ndarray, active: np.ndarray) -> np.ndarray:
         actions = np.zeros(coins.shape, dtype=np.int8)
-        act = active[None, :]
+        act = active[..., None, :]
         listen = (coins < p) & act
-        send = (coins >= p) & (coins < 2 * p) & informed[None, :] & act
+        send = (coins >= p) & (coins < 2 * p) & informed[..., None, :] & act
         actions[listen] = ACT_LISTEN
         actions[send] = ACT_SEND_MSG
         return actions
@@ -81,9 +92,9 @@ def adv_step_one_actions(p: float) -> ActionBuilder:
 
     def build(coins: np.ndarray, informed: np.ndarray, active: np.ndarray) -> np.ndarray:
         actions = np.zeros(coins.shape, dtype=np.int8)
-        hit = (coins < p) & active[None, :]
-        actions[hit & ~informed[None, :]] = ACT_LISTEN
-        actions[hit & informed[None, :]] = ACT_SEND_MSG
+        hit = (coins < p) & active[..., None, :]
+        actions[hit & ~informed[..., None, :]] = ACT_LISTEN
+        actions[hit & informed[..., None, :]] = ACT_SEND_MSG
         return actions
 
     return build
@@ -99,12 +110,12 @@ def adv_step_two_actions(p: float) -> ActionBuilder:
 
     def build(coins: np.ndarray, informed: np.ndarray, active: np.ndarray) -> np.ndarray:
         actions = np.zeros(coins.shape, dtype=np.int8)
-        act = active[None, :]
+        act = active[..., None, :]
         listen = (coins < p) & act
         send = (coins >= p) & (coins < 2 * p) & act
         actions[listen] = ACT_LISTEN
-        actions[send & informed[None, :]] = ACT_SEND_MSG
-        actions[send & ~informed[None, :]] = ACT_SEND_BEACON
+        actions[send & informed[..., None, :]] = ACT_SEND_MSG
+        actions[send & ~informed[..., None, :]] = ACT_SEND_BEACON
         return actions
 
     return build
@@ -161,13 +172,21 @@ def spread_block(
     informed = informed.copy()
     jam = JamBlock.coerce(jam)
     K, n = coins.shape
-    if not learn:
+    # Fast path: frozen statuses (Fig. 4 step II), or nobody left to inform —
+    # once every active node is informed no event can fire, so the whole
+    # event-scan/tail-re-resolve machinery (and the full-size actions/feedback
+    # copies it needs) is skipped.  This is the steady state of every run
+    # after dissemination completes.
+    if not learn or not (active & ~informed).any():
         actions = build_actions(coins, informed, active)
         feedback = resolve_block(channels, actions, jam)
         return BlockOutcome(actions, feedback, informed)
 
-    actions_full = np.zeros((K, n), dtype=np.int8)
-    feedback_full = np.full((K, n), -1, dtype=np.int8)
+    # Event loop.  The full-size output arrays are allocated lazily: the
+    # common no-event block returns the first resolve's arrays directly
+    # instead of copying them.
+    actions_full: Optional[np.ndarray] = None
+    feedback_full: Optional[np.ndarray] = None
     t0 = 0
     while t0 < K:
         actions = build_actions(coins[t0:], informed, active)
@@ -176,9 +195,14 @@ def spread_block(
         hears = (feedback == FB_MSG) & can_learn[None, :]
         event_rows = np.nonzero(hears.any(axis=1))[0]
         if event_rows.size == 0:
+            if actions_full is None:
+                return BlockOutcome(actions, feedback, informed)
             actions_full[t0:] = actions
             feedback_full[t0:] = feedback
             break
+        if actions_full is None:
+            actions_full = np.zeros((K, n), dtype=np.int8)
+            feedback_full = np.full((K, n), -1, dtype=np.int8)
         r = int(event_rows[0])
         actions_full[t0 : t0 + r + 1] = actions[: r + 1]
         feedback_full[t0 : t0 + r + 1] = feedback[: r + 1]
@@ -193,11 +217,138 @@ def spread_block(
     return BlockOutcome(actions_full, feedback_full, informed)
 
 
+@dataclass
+class BatchBlockOutcome:
+    """Result of resolving one block across ``B`` lanes."""
+
+    actions: np.ndarray  #: (B, K, n) int8 — what each lane's nodes did
+    feedback: np.ndarray  #: (B, K, n) int8 — FB_* per lane per node per slot
+    informed: np.ndarray  #: (B, n) bool — per-lane informed sets after the block
+
+
+def spread_block_batch(
+    channels: np.ndarray,
+    coins: np.ndarray,
+    jam: JamBlock,
+    informed: np.ndarray,
+    active: np.ndarray,
+    build_actions: ActionBuilder,
+    *,
+    learn: bool = True,
+    slot0: Optional[np.ndarray] = None,
+    slot_scale: int = 1,
+    informed_slot: Optional[np.ndarray] = None,
+) -> BatchBlockOutcome:
+    """Lane-batched :func:`spread_block`: ``B`` independent trials, one pass.
+
+    Parameters are the lane-stacked analogues of :func:`spread_block`:
+    ``channels``/``coins`` are ``(B, K, n)``, ``informed``/``active`` are
+    ``(B, n)``, ``jam`` is a lane-stacked :class:`repro.sim.jam.JamBlock` of
+    ``B*K`` rows (or a dense ``(B, K, C)`` mask), ``slot0`` is the ``(B,)``
+    per-lane global slot of row 0, and ``informed_slot`` — updated in place —
+    is ``(B, n)``.
+
+    The block is materialized in *waves* of short row windows, all lanes
+    advancing together: one batched build+resolve per wave, a per-lane scan
+    for "uninformed node heard m" events, and — after a lane's statuses can
+    no longer change — one final pass over its remaining rows.  Windows grow
+    geometrically through event-free stretches and reset after each event,
+    so the work is O(rows kept) + O(events · window) instead of the scalar
+    loop's O(events · tail).  Slot resolution is row-independent, so the
+    kept rows are bit-identical to the scalar event loop's (same draws ->
+    same actions, feedback, statuses and event slots per lane; see DESIGN.md
+    section 6).  Trace recording is a scalar-path feature: callers that need
+    growth traces run lanes individually.
+    """
+    B, K, n = coins.shape
+    informed = informed.copy()
+    jam = JamBlock.coerce(jam)
+    if jam.K != B * K:
+        raise ValueError(f"batched jam block has {jam.K} rows, expected B*K = {B * K}")
+    if slot0 is None:
+        slot0 = np.zeros(B, dtype=np.int64)
+    if not learn or not (active & ~informed).any():
+        actions = build_actions(coins, informed, active)
+        feedback = resolve_block(channels, actions, jam)
+        return BatchBlockOutcome(actions, feedback, informed)
+
+    actions = np.empty((B, K, n), dtype=np.int8)
+    feedback = np.empty((B, K, n), dtype=np.int8)
+    cursor = np.zeros(B, dtype=np.int64)  # per lane: rows < cursor are final
+    segment = np.full(B, EVENT_SEGMENT, dtype=np.int64)
+    pending = np.ones(B, dtype=bool)
+    watching = (active & ~informed).any(axis=1)  # lane still scans for events
+
+    while pending.any():
+        # Lanes whose statuses are settled: the rest of their rows are final.
+        for lane in np.nonzero(pending & ~watching)[0]:
+            start = int(cursor[lane])
+            lane_actions = build_actions(coins[lane, start:], informed[lane], active[lane])
+            actions[lane, start:] = lane_actions
+            feedback[lane, start:] = resolve_block(
+                channels[lane, start:], lane_actions, jam.slice(lane * K + start, (lane + 1) * K)
+            )
+            pending[lane] = False
+        wave = np.nonzero(pending)[0]
+        if wave.size == 0:
+            break
+        widths = np.minimum(segment[wave], K - cursor[wave])
+        for width in np.unique(widths):
+            group = wave[widths == width]
+            W = int(width)
+            starts = cursor[group]
+            win_channels = np.stack(
+                [channels[lane, s : s + W] for lane, s in zip(group, starts)]
+            )
+            win_coins = np.stack(
+                [coins[lane, s : s + W] for lane, s in zip(group, starts)]
+            )
+            win_jam = JamBlock.stack(
+                [jam.slice(lane * K + s, lane * K + s + W) for lane, s in zip(group, starts)]
+            )
+            win_actions = build_actions(win_coins, informed[group], active[group])
+            win_feedback = resolve_block(win_channels, win_actions, win_jam)
+            hears = (win_feedback == FB_MSG) & (active[group] & ~informed[group])[:, None, :]
+            event_rows = hears.any(axis=2)  # (G, W)
+            has_event = event_rows.any(axis=1)
+            first_event = event_rows.argmax(axis=1)  # first True (0 if none)
+            for g, lane in enumerate(group):
+                start = int(starts[g])
+                if not has_event[g]:
+                    actions[lane, start : start + W] = win_actions[g]
+                    feedback[lane, start : start + W] = win_feedback[g]
+                    cursor[lane] = start + W
+                    segment[lane] *= 4  # event-free: stride farther next wave
+                else:
+                    r = int(first_event[g])
+                    actions[lane, start : start + r + 1] = win_actions[g, : r + 1]
+                    feedback[lane, start : start + r + 1] = win_feedback[g, : r + 1]
+                    newly = hears[g, r]
+                    informed[lane] |= newly
+                    if informed_slot is not None:
+                        informed_slot[lane][newly] = slot0[lane] + (start + r) * slot_scale
+                    cursor[lane] = start + r + 1
+                    segment[lane] = EVENT_SEGMENT
+                    watching[lane] = (active[lane] & ~informed[lane]).any()
+                if cursor[lane] >= K:
+                    pending[lane] = False
+    return BatchBlockOutcome(actions, feedback, informed)
+
+
+#: First row-window length of the wave loop in :func:`spread_block_batch`;
+#: windows grow 4x through event-free waves and reset to this after each
+#: event, bounding both the per-event waste (<= one window) and the number
+#: of waves an event-free block needs (logarithmic).
+EVENT_SEGMENT = 64
+
+
 def count_feedback(feedback: np.ndarray) -> dict:
     """Per-node counters over a block: noisy / silent / message / beacon-or-
-    message listens — the N_n, N_s, N_m, N'_m of the pseudocode."""
-    noise = (feedback == FB_NOISE).sum(axis=0, dtype=np.int64)
-    silence = (feedback == FB_SILENCE).sum(axis=0, dtype=np.int64)
-    msg = (feedback == FB_MSG).sum(axis=0, dtype=np.int64)
-    beacon = (feedback == FB_BEACON).sum(axis=0, dtype=np.int64)
+    message listens — the N_n, N_s, N_m, N'_m of the pseudocode.  Sums over
+    the slot axis, so ``(K, n)`` feedback yields ``(n,)`` counters and a
+    lane-batched ``(B, K, n)`` block yields ``(B, n)``."""
+    noise = (feedback == FB_NOISE).sum(axis=-2, dtype=np.int64)
+    silence = (feedback == FB_SILENCE).sum(axis=-2, dtype=np.int64)
+    msg = (feedback == FB_MSG).sum(axis=-2, dtype=np.int64)
+    beacon = (feedback == FB_BEACON).sum(axis=-2, dtype=np.int64)
     return {"noise": noise, "silence": silence, "msg": msg, "msg_or_beacon": msg + beacon}

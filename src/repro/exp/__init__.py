@@ -38,6 +38,7 @@ from repro.exp.pool import (
     fork_map,
     run_campaign,
     run_trial,
+    run_trial_batch,
 )
 from repro.exp.registry import (
     UnknownNameError,
@@ -70,4 +71,5 @@ __all__ = [
     "protocol_names",
     "run_campaign",
     "run_trial",
+    "run_trial_batch",
 ]

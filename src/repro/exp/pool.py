@@ -27,12 +27,15 @@ See DESIGN.md section 3.2 for the worker-model rationale.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import signal
 import time
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
+from repro.analysis.stats import DEFAULT_LANE_WIDTH
+from repro.core.batch import run_broadcast_batch
 from repro.core.result import run_broadcast
 from repro.exp.registry import build_jammer, build_protocol
 from repro.exp.spec import CampaignSpec, TrialSpec
@@ -42,10 +45,17 @@ __all__ = [
     "CampaignInterrupted",
     "ProgressCallback",
     "run_trial",
+    "run_trial_batch",
     "run_campaign",
     "fork_map",
     "default_workers",
 ]
+
+#: Trials per lane-batched kernel pass in the batched campaign backend (a
+#: cache/flush-granularity knob, not a semantic one — see run_trial_batch).
+#: One knob for the whole stack: ``repro.analysis.stats.DEFAULT_LANE_WIDTH``
+#: explains why it is small.
+LANE_WIDTH = DEFAULT_LANE_WIDTH
 
 #: ``progress(done, total, record)`` — called after each newly completed
 #: trial; ``done``/``total`` count this invocation's pending trials only.
@@ -81,6 +91,64 @@ def run_trial(spec: TrialSpec) -> TrialRecord:
     return TrialRecord.from_result(spec, result, wall_time=time.perf_counter() - t0)
 
 
+def run_trial_batch(specs: Sequence[TrialSpec], *, lane_width: int = LANE_WIDTH) -> Iterator[TrialRecord]:
+    """Execute trials that share a cell through the lane-batched engine.
+
+    All specs must agree on everything but their trial index (one protocol,
+    one jammer, one n — the unit ``run_campaign`` groups by).  Yields records
+    in spec order, ``lane_width`` trials per kernel pass, each record
+    bit-identical to ``run_trial(spec)`` except for ``wall_time``, which is
+    apportioned evenly across a pass's lanes (the lanes genuinely ran
+    together; only their total is physical).
+    """
+    specs = list(specs)
+    if not specs:
+        return
+    first = specs[0]
+    if any(_cell_identity(s) != _cell_identity(first) for s in specs):
+        raise ValueError("run_trial_batch specs must share one campaign cell")
+    lane_width = max(1, int(lane_width))
+    for start in range(0, len(specs), lane_width):
+        chunk = specs[start : start + lane_width]
+        protocol = build_protocol(
+            first.protocol, first.n, T=first.budget, C=first.channels,
+            knobs=first.protocol_knobs,
+        )
+        adversaries = [
+            build_jammer(s.jammer, s.budget, s.jammer_seed(), knobs=s.jammer_knobs)
+            for s in chunk
+        ]
+        t0 = time.perf_counter()
+        results = run_broadcast_batch(
+            protocol,
+            first.n,
+            adversaries,
+            [s.net_seed() for s in chunk],
+            max_slots=first.max_slots,
+        )
+        wall = (time.perf_counter() - t0) / len(chunk)
+        for spec, result in zip(chunk, results):
+            yield TrialRecord.from_result(spec, result, wall_time=wall)
+
+
+def _cell_identity(spec: TrialSpec):
+    """Everything that must agree for trials to share one batch — the whole
+    spec except the trial index (the lanes' only degree of freedom)."""
+    return dataclasses.replace(spec, trial=0)
+
+
+def _group_by_cell(specs: Sequence[TrialSpec]) -> List[List[TrialSpec]]:
+    """Split specs into per-cell runs (order-preserving; specs arrive in
+    canonical campaign order, so each cell's trials are contiguous)."""
+    groups: List[List[TrialSpec]] = []
+    for spec in specs:
+        if groups and _cell_identity(groups[-1][0]) == _cell_identity(spec):
+            groups[-1].append(spec)
+        else:
+            groups.append([spec])
+    return groups
+
+
 def _ignore_sigint() -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
@@ -91,6 +159,7 @@ def run_campaign(
     *,
     workers: int = 0,
     progress: Optional[ProgressCallback] = None,
+    backend: str = "auto",
 ) -> List[TrialRecord]:
     """Run every not-yet-completed trial of ``campaign``; return all records.
 
@@ -106,11 +175,23 @@ def run_campaign(
         multiprocessing, the determinism-test fallback); ``>1`` -> pool.
     progress:
         Optional per-completion callback.
+    backend:
+        How the serial (``workers == 1``) path executes: ``"auto"``
+        (default) and ``"batched"`` run each cell's pending trials through
+        the lane engine (:func:`run_trial_batch`) — the fast path on a
+        single core; ``"scalar"`` keeps the one-trial-at-a-time loop.
+        Multi-worker runs ignore this (each worker runs scalar trials).
+        Aggregates are byte-identical either way; only ``wall_time`` (not
+        aggregated) reflects the execution shape, and the batched path
+        flushes the store once per kernel pass instead of once per trial,
+        so an interrupt can lose up to ``LANE_WIDTH`` in-flight trials.
 
     Returns the records of *all* the campaign's trials — freshly run and
     previously stored — sorted by trial key.  Records the store holds for
     *other* campaigns (stores may be shared) are not returned.
     """
+    if backend not in ("auto", "scalar", "batched"):
+        raise ValueError(f"unknown backend {backend!r} (auto, scalar, batched)")
     if store is None:
         store = ResultStore(None)
     done_keys = store.completed_keys()
@@ -132,8 +213,13 @@ def run_campaign(
 
     if workers == 1 or total == 0:
         try:
-            for spec in pending:
-                record_one(run_trial(spec))
+            if backend in ("auto", "batched"):
+                for group in _group_by_cell(pending):
+                    for record in run_trial_batch(group):
+                        record_one(record)
+            else:
+                for spec in pending:
+                    record_one(run_trial(spec))
         except KeyboardInterrupt:
             raise CampaignInterrupted(done, total) from None
         return [r for r in store.records() if r.key in wanted]

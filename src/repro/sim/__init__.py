@@ -33,8 +33,8 @@ from repro.sim.channel import (
     resolve_slot,
 )
 from repro.sim.jam import JamBlock
-from repro.sim.engine import BlockProtocolError, RadioNetwork, SlotLimitExceeded
-from repro.sim.metrics import EnergyLedger
+from repro.sim.engine import BatchNetwork, BlockProtocolError, RadioNetwork, SlotLimitExceeded
+from repro.sim.metrics import BatchEnergyLedger, EnergyLedger
 from repro.sim.node import NodeProtocol, ScalarNetwork
 from repro.sim.rng import RandomFabric, derive_seed
 from repro.sim.trace import TraceRecorder
@@ -49,6 +49,8 @@ __all__ = [
     "FB_NOISE",
     "FB_NONE",
     "FB_SILENCE",
+    "BatchEnergyLedger",
+    "BatchNetwork",
     "BlockProtocolError",
     "JamBlock",
     "EnergyLedger",

@@ -26,13 +26,13 @@ import numpy as np
 
 from repro.sim.channel import ACT_LISTEN, ACT_SEND_BEACON, ACT_SEND_MSG
 from repro.sim.jam import JamBlock
-from repro.sim.metrics import EnergyLedger
+from repro.sim.metrics import BatchEnergyLedger, EnergyLedger
 from repro.sim.rng import RandomFabric
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.adversary.base import Adversary
 
-__all__ = ["RadioNetwork", "SlotLimitExceeded", "BlockProtocolError"]
+__all__ = ["RadioNetwork", "BatchNetwork", "SlotLimitExceeded", "BlockProtocolError"]
 
 
 class SlotLimitExceeded(RuntimeError):
@@ -167,3 +167,230 @@ class RadioNetwork:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RadioNetwork(n={self.n}, clock={self.clock}, adversary={self.adversary!r})"
+
+
+class BatchNetwork:
+    """``B`` independent :class:`RadioNetwork` executions driven in lockstep.
+
+    One lane = one seeded trial: its own node generator, its own adversary
+    instance, its own clock, and its own column set in a
+    :class:`repro.sim.metrics.BatchEnergyLedger`.  Lanes never interact —
+    batching is purely an execution-layer move that amortizes per-block
+    interpreter and kernel overhead across trials (DESIGN.md section 6).
+
+    The block API mirrors :class:`RadioNetwork`'s draw/commit discipline, but
+    every call takes ``lane_ids`` — the (sorted) indices of lanes taking part
+    in the block.  Finished or truncated lanes are simply omitted from later
+    calls: their clocks freeze and their books stop changing, exactly as if
+    their scalar execution had ended.
+
+    Determinism contract: lane ``l`` of a :class:`BatchNetwork` built with
+    ``seeds[l]`` and ``adversaries[l]`` produces draws bit-identical to
+    ``RadioNetwork(n, adversaries[l], seed=seeds[l])``, because each lane's
+    generator is constructed the same way and is consumed in the same
+    per-lane order (a lane's stream never observes other lanes).
+
+    Parameters
+    ----------
+    n:
+        Number of honest nodes per lane (node 0 is the source).
+    seeds:
+        Per-lane root seeds; lane count ``B = len(seeds)``.
+    adversaries:
+        Per-lane jammers (``None`` entries mean no jamming; ``None`` for the
+        whole argument means no jamming anywhere).  Each non-``None`` entry
+        must be a distinct object — adversaries carry per-execution state.
+    max_slots:
+        Safety cap applied per lane; :meth:`commit_block` reports (rather
+        than raises) per-lane overruns so one runaway lane cannot abort the
+        batch.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        seeds,
+        adversaries=None,
+        *,
+        max_slots: int = 50_000_000,
+        listen_cost: float = 1.0,
+        send_cost: float = 1.0,
+        jam_cost: float = 1.0,
+    ):
+        if n < 2:
+            raise ValueError("broadcast needs at least two nodes (source + 1)")
+        seeds = [int(s) for s in seeds]
+        if not seeds:
+            raise ValueError("need at least one lane")
+        self.n = int(n)
+        self.B = len(seeds)
+        if adversaries is None:
+            adversaries = [None] * self.B
+        adversaries = list(adversaries)
+        if len(adversaries) != self.B:
+            raise ValueError(
+                f"{len(adversaries)} adversaries for {self.B} lanes (need one per lane)"
+            )
+        live_ids = [id(a) for a in adversaries if a is not None]
+        if len(set(live_ids)) != len(live_ids):
+            raise ValueError("each lane needs its own adversary instance (state!)")
+        self.adversaries = adversaries
+        self.rngs = [RandomFabric(s).generator("nodes") for s in seeds]
+        self.energy = BatchEnergyLedger(
+            self.B, self.n, listen_cost=listen_cost, send_cost=send_cost, jam_cost=jam_cost
+        )
+        self.max_slots = int(max_slots)
+        self._pending: Optional[tuple] = None  # (lane_ids, physical K)
+
+    # -- clocks ----------------------------------------------------------------
+    @property
+    def clocks(self) -> np.ndarray:
+        """``(B,)`` per-lane next-slot indices (treat as read-only)."""
+        return self.energy.slots
+
+    # -- per-lane randomness ---------------------------------------------------
+    def draw_channels(self, lane_ids: np.ndarray, block_slots: int, num_channels: int) -> np.ndarray:
+        """Stacked per-lane channel draws: ``(len(lane_ids), K, n)`` int32.
+
+        Lane ``l``'s slice comes from lane ``l``'s own generator with the
+        same call a scalar protocol makes, so per-lane streams match the
+        scalar path exactly.
+        """
+        K = int(block_slots)
+        out = np.empty((len(lane_ids), K, self.n), dtype=np.int32)
+        for j, l in enumerate(lane_ids):
+            out[j] = self.rngs[l].integers(0, num_channels, size=(K, self.n), dtype=np.int32)
+        return out
+
+    def draw_coins(self, lane_ids: np.ndarray, block_slots: int) -> np.ndarray:
+        """Stacked per-lane coin draws: ``(len(lane_ids), K, n)`` float64."""
+        K = int(block_slots)
+        out = np.empty((len(lane_ids), K, self.n), dtype=np.float64)
+        for j, l in enumerate(lane_ids):
+            # filling the slice in place consumes the stream exactly like
+            # random((K, n)) would, without the temporary + copy
+            self.rngs[l].random(out=out[j])
+        return out
+
+    # -- block API ---------------------------------------------------------------
+    def draw_jamming(
+        self, lane_ids: np.ndarray, block_slots: int, num_channels: int
+    ) -> JamBlock:
+        """Eve's jamming for the next ``K`` slots of every listed lane, as one
+        lane-stacked :class:`repro.sim.jam.JamBlock` of ``len(lane_ids) * K``
+        rows (lane-major, matching the batched kernel's key layout).
+
+        Charges each lane's adversary spend immediately, like the scalar
+        engine.  Must be followed by exactly one :meth:`commit_block` over
+        the same lanes and length.
+        """
+        if self._pending is not None:
+            raise BlockProtocolError("draw_jamming called twice without commit_block")
+        lane_ids = np.asarray(lane_ids, dtype=np.int64)
+        K = int(block_slots)
+        C = int(num_channels)
+        if lane_ids.size == 0:
+            raise ValueError("need at least one lane in the block")
+        if K <= 0 or C <= 0:
+            raise ValueError("block_slots and num_channels must be positive")
+        blocks = []
+        totals = np.zeros(lane_ids.size, dtype=np.int64)
+        for j, l in enumerate(lane_ids):
+            adversary = self.adversaries[l]
+            if adversary is None:
+                jam = JamBlock.empty(K, C)
+            else:
+                jam = JamBlock.coerce(
+                    adversary.jam_block(int(self.energy.slots[l]), K, C)
+                )
+                if jam.K != K or jam.C != C:
+                    raise ValueError(
+                        f"adversary of lane {int(l)} returned jamming for "
+                        f"(K={jam.K}, C={jam.C}), expected (K={K}, C={C})"
+                    )
+            totals[j] = jam.total()
+            blocks.append(jam)
+        self.energy.charge_adversary(lane_ids, totals)
+        self._pending = (lane_ids, K)
+        return JamBlock.stack(blocks)
+
+    def commit_block(
+        self, lane_ids: np.ndarray, actions: np.ndarray, *, slots_per_row: int = 1
+    ) -> np.ndarray:
+        """Charge node energy for the lanes' final actions and advance time.
+
+        ``actions`` is ``(len(lane_ids), K, n)``.  Returns a boolean overrun
+        mask: ``True`` where a lane's clock just passed ``max_slots`` — the
+        per-lane analogue of :class:`SlotLimitExceeded` (callers mask those
+        lanes out and report them truncated; the batch itself continues).
+        """
+        if self._pending is None:
+            raise BlockProtocolError("commit_block called without draw_jamming")
+        lane_ids = np.asarray(lane_ids, dtype=np.int64)
+        pending_ids, pending_K = self._pending
+        if slots_per_row <= 0:
+            raise ValueError("slots_per_row must be positive")
+        if not np.array_equal(lane_ids, pending_ids):
+            raise BlockProtocolError("commit_block lanes differ from draw_jamming lanes")
+        K = int(actions.shape[1]) * int(slots_per_row)
+        if K != pending_K:
+            raise BlockProtocolError(
+                f"committed {K} physical slots but drew jamming for {pending_K}"
+            )
+        if actions.shape[0] != lane_ids.size or actions.shape[2] != self.n:
+            raise ValueError(
+                f"actions shaped {actions.shape}, expected "
+                f"({lane_ids.size}, K, {self.n})"
+            )
+        listen = (actions == ACT_LISTEN).sum(axis=1)
+        send = ((actions == ACT_SEND_MSG) | (actions == ACT_SEND_BEACON)).sum(axis=1)
+        return self.commit_counts(
+            lane_ids, listen, send, int(actions.shape[1]), slots_per_row=slots_per_row
+        )
+
+    def commit_counts(
+        self,
+        lane_ids: np.ndarray,
+        listen_counts: np.ndarray,
+        send_counts: np.ndarray,
+        block_rows: int,
+        *,
+        slots_per_row: int = 1,
+    ) -> np.ndarray:
+        """Commit a block from per-node action *counts* instead of matrices.
+
+        The steady-state kernel (DESIGN.md section 6) never materializes
+        action matrices — it derives each node's listen/send slot counts
+        straight from the coin draws — so the engine accepts the counts
+        directly.  Semantically identical to :meth:`commit_block` on the
+        matrix those counts summarize; same pairing discipline, same overrun
+        mask.
+        """
+        if self._pending is None:
+            raise BlockProtocolError("commit called without draw_jamming")
+        lane_ids = np.asarray(lane_ids, dtype=np.int64)
+        pending_ids, pending_K = self._pending
+        if slots_per_row <= 0:
+            raise ValueError("slots_per_row must be positive")
+        if not np.array_equal(lane_ids, pending_ids):
+            raise BlockProtocolError("commit lanes differ from draw_jamming lanes")
+        K = int(block_rows) * int(slots_per_row)
+        if K != pending_K:
+            raise BlockProtocolError(
+                f"committed {K} physical slots but drew jamming for {pending_K}"
+            )
+        if listen_counts.shape != (lane_ids.size, self.n) or send_counts.shape != (
+            lane_ids.size,
+            self.n,
+        ):
+            raise ValueError(
+                f"counts shaped {listen_counts.shape}/{send_counts.shape}, "
+                f"expected ({lane_ids.size}, {self.n})"
+            )
+        self.energy.charge_nodes(lane_ids, listen_counts, send_counts)
+        self.energy.advance(lane_ids, K)
+        self._pending = None
+        return self.energy.slots[lane_ids] > self.max_slots
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BatchNetwork(n={self.n}, B={self.B}, clocks={self.clocks.tolist()})"

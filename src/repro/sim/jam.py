@@ -96,10 +96,52 @@ class JamBlock:
 
     @classmethod
     def coerce(cls, jam: Union["JamBlock", np.ndarray]) -> "JamBlock":
-        """Normalize a strategy's return value (dense array or JamBlock)."""
+        """Normalize a strategy's return value (dense array or JamBlock).
+
+        A 3-D ``(B, K, C)`` dense mask (one lane per leading index) is
+        accepted too and flattens to a ``(B*K, C)`` block — the lane-major
+        row layout the batched kernel path expects (see
+        :func:`repro.sim.channel.resolve_block` and :meth:`stack`).
+        """
         if isinstance(jam, cls):
             return jam
+        jam = np.asarray(jam, dtype=bool)
+        if jam.ndim == 3:
+            B, K, C = jam.shape
+            return cls.from_dense(jam.reshape(B * K, C))
         return cls.from_dense(jam)
+
+    @classmethod
+    def stack(cls, blocks: Sequence["JamBlock"]) -> "JamBlock":
+        """Concatenate blocks along the slot axis (all must share ``C``).
+
+        This is how the batched execution layer builds one flat jam block out
+        of ``B`` per-lane blocks of ``K`` slots each: row ``l*K + t`` of the
+        stacked block is lane ``l``'s slot ``t``, so the flat resolution keys
+        become ``lane*K*C + slot*C + channel`` with no per-lane dispatch.
+        Zero-copy is impossible here (indptr must be re-based), but the cost
+        is O(total nnz + total K).
+        """
+        blocks = list(blocks)
+        if not blocks:
+            raise ValueError("need at least one block to stack")
+        C = blocks[0].C
+        if any(b.C != C for b in blocks):
+            raise ValueError("stacked blocks must share the channel count C")
+        K = sum(b.K for b in blocks)
+        indptr = np.zeros(K + 1, dtype=np.int64)
+        pos = 0
+        offset = 0
+        for b in blocks:
+            indptr[pos + 1 : pos + b.K + 1] = b.indptr[1:] + offset
+            pos += b.K
+            offset += b.total()
+        channels = (
+            np.concatenate([b.channels for b in blocks])
+            if offset
+            else np.empty(0, dtype=np.int64)
+        )
+        return cls(K, C, indptr, channels)
 
     # -- accounting ----------------------------------------------------------------
     def total(self) -> int:

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["EnergyLedger", "CostSummary"]
+__all__ = ["EnergyLedger", "BatchEnergyLedger", "CostSummary"]
 
 
 @dataclass
@@ -130,4 +130,89 @@ class EnergyLedger:
         return (
             f"EnergyLedger(n={self.n}, slots={self.slots}, "
             f"max_node_cost={self.max_node_cost}, eve={self.adversary_spend})"
+        )
+
+
+class BatchEnergyLedger:
+    """Per-lane energy books: :class:`EnergyLedger` with a leading lane axis.
+
+    The batched execution layer (DESIGN.md section 6) runs ``B`` independent
+    trials ("lanes") through one vectorized pass; each lane needs exactly the
+    accounting :class:`EnergyLedger` keeps for one execution.  Rather than
+    ``B`` ledger objects, the books are stored as arrays with a lane axis —
+    ``(B, n)`` listen/send slot counts, ``(B,)`` adversary spend and clocks —
+    so the engine can charge a whole block of lanes with one add.
+
+    All writer methods take ``lane_ids`` (the active-lane index array) because
+    finished lanes are masked out of a batch rather than blocking it; their
+    rows simply stop being touched.  :meth:`lane_node_cost` /
+    :meth:`lane_adversary_spend` reproduce :attr:`EnergyLedger.node_cost` /
+    :attr:`EnergyLedger.adversary_spend` bit-for-bit per lane (including the
+    integral-dtype-under-unit-weights contract), which is what makes batched
+    :class:`repro.core.result.BroadcastResult` rows indistinguishable from
+    scalar ones.
+    """
+
+    def __init__(
+        self,
+        lanes: int,
+        n: int,
+        *,
+        listen_cost: float = 1.0,
+        send_cost: float = 1.0,
+        jam_cost: float = 1.0,
+    ):
+        if lanes <= 0:
+            raise ValueError("need at least one lane")
+        if n <= 0:
+            raise ValueError("need at least one node")
+        if min(listen_cost, send_cost, jam_cost) < 0:
+            raise ValueError("energy weights must be non-negative")
+        self.B = int(lanes)
+        self.n = int(n)
+        self.listen_cost = float(listen_cost)
+        self.send_cost = float(send_cost)
+        self.jam_cost = float(jam_cost)
+        self.listen_slots = np.zeros((self.B, self.n), dtype=np.int64)
+        self.send_slots = np.zeros((self.B, self.n), dtype=np.int64)
+        self.jammed_channel_slots = np.zeros(self.B, dtype=np.int64)
+        self.slots = np.zeros(self.B, dtype=np.int64)
+
+    # -- writers (engine only) ------------------------------------------------
+    def charge_nodes(
+        self, lane_ids: np.ndarray, listen_counts: np.ndarray, send_counts: np.ndarray
+    ) -> None:
+        """Add per-node listen/send counts for the lanes of a committed block."""
+        self.listen_slots[lane_ids] += listen_counts
+        self.send_slots[lane_ids] += send_counts
+
+    def charge_adversary(self, lane_ids: np.ndarray, channel_slots: np.ndarray) -> None:
+        """Add per-lane jammed channel-slots to Eve's books."""
+        self.jammed_channel_slots[lane_ids] += channel_slots
+
+    def advance(self, lane_ids: np.ndarray, slots: int) -> None:
+        """Advance the given lanes' clocks by ``slots``."""
+        self.slots[lane_ids] += int(slots)
+
+    # -- readers --------------------------------------------------------------
+    def lane_node_cost(self, lane: int) -> np.ndarray:
+        """One lane's per-node total energy (same contract as
+        :attr:`EnergyLedger.node_cost`; a fresh array, safe to hand out)."""
+        if self.listen_cost == 1.0 and self.send_cost == 1.0:
+            return self.listen_slots[lane] + self.send_slots[lane]
+        return (
+            self.listen_cost * self.listen_slots[lane]
+            + self.send_cost * self.send_slots[lane]
+        )
+
+    def lane_adversary_spend(self, lane: int):
+        """One lane's Eve spend (integral under unit jam weight, as in
+        :attr:`EnergyLedger.adversary_spend`)."""
+        spend = self.jam_cost * int(self.jammed_channel_slots[lane])
+        return int(spend) if self.jam_cost == 1.0 else spend
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchEnergyLedger(B={self.B}, n={self.n}, "
+            f"slots={self.slots.tolist()})"
         )

@@ -150,3 +150,52 @@ class TestTrialsAndSweeps:
         # iteration length doubles with a
         assert sw.means("slots")[1] > sw.means("slots")[0]
         assert sw.success_rates.shape == (2,)
+
+
+class TestBackends:
+    """run_trials backends must be interchangeable: same seeds, same batch."""
+
+    N = 16
+
+    def _factory(self):
+        return MultiCastCore(self.N, 2_000)
+
+    def _adversary(self, seed):
+        return BlanketJammer(1_500, channels=0.5, seed=seed)
+
+    def _run(self, backend, **kwargs):
+        return run_trials(
+            self._factory,
+            self.N,
+            self._adversary,
+            trials=5,
+            base_seed=9,
+            label="backend-test",
+            backend=backend,
+            **kwargs,
+        )
+
+    @staticmethod
+    def _assert_batches_equal(a, b):
+        assert len(a) == len(b)
+        for x, y in zip(a.results, b.results):
+            assert x.slots == y.slots
+            assert x.adversary_spend == y.adversary_spend
+            np.testing.assert_array_equal(x.node_energy, y.node_energy)
+            np.testing.assert_array_equal(x.informed_slot, y.informed_slot)
+            np.testing.assert_array_equal(x.halt_slot, y.halt_slot)
+
+    def test_batched_equals_scalar(self):
+        self._assert_batches_equal(self._run("scalar"), self._run("batched"))
+
+    def test_lane_width_is_not_semantic(self):
+        self._assert_batches_equal(
+            self._run("batched", lane_width=1), self._run("batched", lane_width=64)
+        )
+
+    def test_auto_uses_batched_for_serial_runs(self):
+        self._assert_batches_equal(self._run("auto"), self._run("scalar"))
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            self._run("vectorized")

@@ -1,0 +1,168 @@
+"""Batched execution must be bit-identical, per lane, to the scalar path.
+
+This is the determinism contract of the lane axis (DESIGN.md section 6):
+for every protocol with a ``run_batch`` and every jammer in the registry,
+running B seeded trials through :func:`repro.core.batch.run_broadcast_batch`
+yields exactly the results of B scalar :func:`repro.core.result.run_broadcast`
+calls — same slots, statuses, event slots, energy books, periods, extras.
+Not statistically close: equal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MultiCast,
+    MultiCastCore,
+    run_broadcast,
+    run_broadcast_batch,
+)
+from repro.exp.registry import build_jammer, build_protocol, jammer_names
+
+N = 16
+BUDGET = 4_000
+SEEDS = [3, 7, 11, 19]
+
+#: protocols with a batched runner, as (registry name, factory) pairs
+BATCHED_PROTOCOLS = {
+    "core": lambda: build_protocol("core", N, T=BUDGET),
+    "multicast": lambda: build_protocol("multicast", N),
+    "multicast_c": lambda: build_protocol("multicast_c", N, C=2),
+    "single_channel": lambda: build_protocol("single_channel", N),
+    "decay": lambda: build_protocol("decay", N),
+    "naive": lambda: build_protocol("naive", N),
+}
+
+
+def assert_results_equal(batched, reference, context):
+    __tracebackhide__ = True
+    for attr in (
+        "protocol",
+        "n",
+        "slots",
+        "completed",
+        "adversary_spend",
+        "halted_uninformed",
+        "periods",
+        "extras",
+    ):
+        assert getattr(batched, attr) == getattr(reference, attr), (context, attr)
+    for attr in ("informed_slot", "halt_slot", "node_energy"):
+        np.testing.assert_array_equal(
+            getattr(batched, attr),
+            getattr(reference, attr),
+            err_msg=f"{context}: {attr}",
+        )
+
+
+def run_both_ways(factory, jammer_name, *, budget=BUDGET, seeds=SEEDS, max_slots=50_000_000):
+    adversaries = [build_jammer(jammer_name, budget, 100 + i) for i in range(len(seeds))]
+    batched = run_broadcast_batch(factory(), N, adversaries, seeds, max_slots=max_slots)
+    for i, seed in enumerate(seeds):
+        reference = run_broadcast(
+            factory(),
+            N,
+            build_jammer(jammer_name, budget, 100 + i),
+            seed=seed,
+            max_slots=max_slots,
+        )
+        assert_results_equal(batched[i], reference, (jammer_name, i))
+
+
+@pytest.mark.parametrize("jammer_name", sorted(jammer_names()))
+@pytest.mark.parametrize("protocol_name", sorted(BATCHED_PROTOCOLS))
+def test_batched_equals_scalar(protocol_name, jammer_name):
+    """The acceptance matrix: every batched protocol x every registry jammer."""
+    budget = 0 if jammer_name == "none" else BUDGET
+    run_both_ways(BATCHED_PROTOCOLS[protocol_name], jammer_name, budget=budget)
+
+
+class TestTruncationParity:
+    """Per-lane slot-limit overruns must match the scalar SlotLimitExceeded
+    path, including the quirk that informed_slot reflects the final partial
+    block while informed-set-derived counters do not."""
+
+    def test_multicast_truncated_mid_iteration(self):
+        run_both_ways(
+            lambda: build_protocol("multicast", N),
+            "blackout",
+            budget=100_000,
+            max_slots=3_000,
+        )
+
+    def test_core_counts_partial_iteration(self):
+        run_both_ways(
+            lambda: build_protocol("core", N, T=50_000),
+            "blackout",
+            budget=100_000,
+            max_slots=2_000,
+        )
+
+    def test_decay_truncated(self):
+        run_both_ways(
+            lambda: build_protocol("decay", N),
+            "blackout",
+            budget=100_000,
+            max_slots=50,
+        )
+
+    def test_naive_truncated(self):
+        run_both_ways(
+            lambda: build_protocol("naive", N),
+            "blackout",
+            budget=2_000_000,
+            max_slots=900,
+        )
+
+    def test_max_iterations_cutoff(self):
+        adversaries = [build_jammer("blackout", 500_000, i) for i in range(3)]
+        batched = run_broadcast_batch(
+            MultiCast(N, max_iterations=2), N, adversaries, [5, 6, 7]
+        )
+        for i, seed in enumerate([5, 6, 7]):
+            reference = run_broadcast(
+                MultiCast(N, max_iterations=2),
+                N,
+                build_jammer("blackout", 500_000, i),
+                seed=seed,
+            )
+            assert_results_equal(batched[i], reference, ("max_iterations", i))
+            assert not batched[i].completed
+
+
+class TestDispatcher:
+    def test_scalar_fallback_without_run_batch(self):
+        """Protocols lacking run_batch run scalar per lane, same interface."""
+
+        class ScalarOnly:
+            def __init__(self):
+                self._inner = MultiCastCore(N, BUDGET)
+                self.n = N
+
+            def run(self, net, *, trace=None):
+                return self._inner.run(net, trace=trace)
+
+        seeds = [1, 2]
+        batched = run_broadcast_batch(ScalarOnly(), N, None, seeds)
+        for i, seed in enumerate(seeds):
+            reference = run_broadcast(MultiCastCore(N, BUDGET), N, None, seed=seed)
+            assert_results_equal(batched[i], reference, ("fallback", i))
+
+    def test_lane_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            run_broadcast_batch(MultiCast(N), N, [None], [1, 2])
+
+    def test_needs_at_least_one_lane(self):
+        with pytest.raises(ValueError):
+            run_broadcast_batch(MultiCast(N), N, [], [])
+
+    def test_shared_adversary_instance_rejected(self):
+        """One adversary object cannot serve two lanes — it carries state."""
+        adv = build_jammer("blanket", BUDGET, 1)
+        with pytest.raises(ValueError):
+            run_broadcast_batch(MultiCast(N), N, [adv, adv], [1, 2])
+
+    def test_single_lane_batch_matches_run_broadcast(self):
+        (batched,) = run_broadcast_batch(MultiCast(N), N, None, [42])
+        reference = run_broadcast(MultiCast(N), N, None, seed=42)
+        assert_results_equal(batched, reference, ("single-lane", 0))

@@ -72,7 +72,12 @@ class TestScalarMultiCast:
         assert abs(scalar.mean_cost - vec.mean_cost) < 0.25 * max(scalar.mean_cost, vec.mean_cost)
 
 
+@pytest.mark.slow
 class TestScalarMultiCastAdv:
+    """Minutes-long scalar MultiCastAdv end-to-end runs (the two slowest
+    tests in the suite by an order of magnitude).  Marked ``slow`` so
+    ``-m "not slow"`` gives a fast local loop; the tier-1 command runs them."""
+
     def test_small_run_success(self):
         proto = MultiCastAdv(**ADV_FAST)
         r = run_scalar_multicast_adv(proto, 8, seed=1, max_slots=3_000_000)

@@ -1,5 +1,6 @@
 """Tests for the campaign pool: parallel == serial, resume, progress, fork_map."""
 
+import dataclasses
 import json
 
 import pytest
@@ -12,6 +13,7 @@ from repro.exp import (
     fork_map,
     run_campaign,
     run_trial,
+    run_trial_batch,
 )
 from repro import BlanketJammer, MultiCast
 
@@ -152,3 +154,55 @@ class TestForkMap:
         assert [r.adversary_spend for r in b1.results] == [
             r.adversary_spend for r in b3.results
         ]
+
+
+class TestBatchedBackend:
+    """The serial campaign path batches each cell's trials; records (minus
+    wall_time, which reflects execution shape) must match the scalar loop."""
+
+    def test_batched_serial_equals_scalar_serial(self):
+        c = small_campaign()
+        batched = run_campaign(c, workers=1)  # backend="auto"
+        scalar = run_campaign(c, workers=1, backend="scalar")
+        assert aggregate_bytes(batched) == aggregate_bytes(scalar)
+        for a, b in zip(batched, scalar):
+            a = dataclasses.replace(a, wall_time=0.0)
+            b = dataclasses.replace(b, wall_time=0.0)
+            assert a == b
+
+    def test_run_trial_batch_matches_run_trial(self):
+        specs = small_campaign(
+            protocols=["multicast"], jammers=["sweep"], trials=4
+        ).trial_specs()
+        batched = list(run_trial_batch(specs, lane_width=3))
+        for spec, record in zip(specs, batched):
+            reference = run_trial(spec)
+            assert dataclasses.replace(record, wall_time=0.0) == dataclasses.replace(
+                reference, wall_time=0.0
+            )
+
+    def test_run_trial_batch_rejects_mixed_cells(self):
+        mixed = small_campaign(protocols=["multicast", "core"], trials=1).trial_specs()
+        with pytest.raises(ValueError):
+            list(run_trial_batch(mixed))
+
+    def test_run_trial_batch_empty(self):
+        assert list(run_trial_batch([])) == []
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(small_campaign(), workers=1, backend="turbo")
+
+    def test_resume_skips_with_batched_backend(self, tmp_path):
+        c = small_campaign(protocols=["multicast"], jammers=["blanket"], trials=4)
+        path = tmp_path / "r.jsonl"
+        full = run_campaign(c, ResultStore(str(path)), workers=1)
+        ran = []
+        again = run_campaign(
+            c,
+            ResultStore(str(path)),
+            workers=1,
+            progress=lambda done, total, rec: ran.append(rec.key),
+        )
+        assert ran == []
+        assert aggregate_bytes(again) == aggregate_bytes(full)

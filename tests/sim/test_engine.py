@@ -5,7 +5,12 @@ import pytest
 
 from repro.adversary import BlanketJammer, NoJammer
 from repro.sim.channel import ACT_IDLE, ACT_LISTEN, ACT_SEND_MSG
-from repro.sim.engine import BlockProtocolError, RadioNetwork, SlotLimitExceeded
+from repro.sim.engine import (
+    BatchNetwork,
+    BlockProtocolError,
+    RadioNetwork,
+    SlotLimitExceeded,
+)
 from repro.sim.jam import JamBlock
 
 
@@ -125,3 +130,92 @@ class TestLimits:
         a = RadioNetwork(4, seed=5).rng.integers(1 << 30, size=8)
         b = RadioNetwork(4, seed=5).rng.integers(1 << 30, size=8)
         assert (a == b).all()
+
+
+class TestBatchNetwork:
+    def _bnet(self, **kwargs):
+        return BatchNetwork(4, [1, 2, 3], **kwargs)
+
+    def test_lane_draws_match_scalar_streams(self):
+        """Each lane's generator consumes exactly like its scalar twin."""
+        bnet = self._bnet()
+        lanes = np.arange(3)
+        batch_channels = bnet.draw_channels(lanes, 5, 2)
+        batch_coins = bnet.draw_coins(lanes, 5)
+        for lane, seed in enumerate([1, 2, 3]):
+            net = RadioNetwork(4, seed=seed)
+            np.testing.assert_array_equal(
+                batch_channels[lane], net.rng.integers(0, 2, size=(5, 4), dtype=np.int32)
+            )
+            np.testing.assert_array_equal(batch_coins[lane], net.rng.random((5, 4)))
+
+    def test_draw_jamming_stacks_per_lane_masks(self):
+        adversaries = [BlanketJammer(10, channels=1.0, seed=s) for s in range(3)]
+        bnet = BatchNetwork(4, [1, 2, 3], adversaries)
+        jam = bnet.draw_jamming(np.arange(3), 2, 2)
+        assert jam.K == 6 and jam.C == 2
+        np.testing.assert_array_equal(bnet.energy.jammed_channel_slots, [4, 4, 4])
+
+    def test_draw_commit_pairing_enforced(self):
+        bnet = self._bnet()
+        lanes = np.arange(3)
+        bnet.draw_jamming(lanes, 2, 2)
+        with pytest.raises(BlockProtocolError):
+            bnet.draw_jamming(lanes, 2, 2)
+        with pytest.raises(BlockProtocolError):
+            bnet.commit_block(np.array([0, 1]), np.zeros((2, 2, 4), dtype=np.int8))
+        with pytest.raises(BlockProtocolError):
+            bnet.commit_block(lanes, np.zeros((3, 3, 4), dtype=np.int8))
+        bnet.commit_block(lanes, np.zeros((3, 2, 4), dtype=np.int8))
+        with pytest.raises(BlockProtocolError):
+            bnet.commit_counts(lanes, np.zeros((3, 4)), np.zeros((3, 4)), 2)
+
+    def test_commit_counts_equals_commit_block(self):
+        actions = np.zeros((2, 3, 4), dtype=np.int8)
+        actions[0, :, 1] = ACT_LISTEN
+        actions[1, 2, 3] = ACT_SEND_MSG
+        a = BatchNetwork(4, [1, 2])
+        a.draw_jamming(np.arange(2), 3, 2)
+        a.commit_block(np.arange(2), actions)
+        b = BatchNetwork(4, [1, 2])
+        b.draw_jamming(np.arange(2), 3, 2)
+        listen = (actions == ACT_LISTEN).sum(axis=1)
+        send = (actions == ACT_SEND_MSG).sum(axis=1)
+        b.commit_counts(np.arange(2), listen, send, 3)
+        np.testing.assert_array_equal(a.energy.listen_slots, b.energy.listen_slots)
+        np.testing.assert_array_equal(a.energy.send_slots, b.energy.send_slots)
+        np.testing.assert_array_equal(a.clocks, b.clocks)
+
+    def test_overrun_reported_per_lane_not_raised(self):
+        bnet = BatchNetwork(4, [1, 2], max_slots=3)
+        lanes = np.arange(2)
+        bnet.draw_jamming(lanes, 2, 2)
+        assert not bnet.commit_block(lanes, np.zeros((2, 2, 4), dtype=np.int8)).any()
+        # lane 1 sits out the next block; only lane 0 passes the cap
+        bnet.draw_jamming(np.array([0]), 2, 2)
+        overrun = bnet.commit_block(np.array([0]), np.zeros((1, 2, 4), dtype=np.int8))
+        np.testing.assert_array_equal(overrun, [True])
+        np.testing.assert_array_equal(bnet.clocks, [4, 2])
+
+    def test_masked_out_lanes_freeze(self):
+        bnet = self._bnet()
+        bnet.draw_jamming(np.array([0, 2]), 4, 2)
+        bnet.commit_block(np.array([0, 2]), np.zeros((2, 4, 4), dtype=np.int8))
+        np.testing.assert_array_equal(bnet.clocks, [4, 0, 4])
+
+    def test_shared_adversary_rejected(self):
+        adv = BlanketJammer(5, seed=0)
+        with pytest.raises(ValueError):
+            BatchNetwork(4, [1, 2], [adv, adv])
+
+    def test_lane_ledger_views_match_energy_contract(self):
+        actions = np.zeros((2, 2, 4), dtype=np.int8)
+        actions[0, :, 0] = ACT_LISTEN
+        actions[1, :, 1] = ACT_SEND_MSG
+        bnet = BatchNetwork(4, [1, 2])
+        bnet.draw_jamming(np.arange(2), 2, 2)
+        bnet.commit_block(np.arange(2), actions)
+        np.testing.assert_array_equal(bnet.energy.lane_node_cost(0), [2, 0, 0, 0])
+        np.testing.assert_array_equal(bnet.energy.lane_node_cost(1), [0, 2, 0, 0])
+        assert bnet.energy.lane_adversary_spend(0) == 0
+        assert isinstance(bnet.energy.lane_adversary_spend(0), int)

@@ -142,3 +142,89 @@ class TestFoldRows:
         mask = random_mask(rng, K=4, C=3)
         jb = JamBlock.from_dense(mask).fold_rows(4)
         assert jb.K == 1 and jb.C == 12
+
+
+class TestEdgeCases:
+    """Boundary behaviour the batched execution layer leans on."""
+
+    def test_lookup_on_empty_block(self):
+        jb = JamBlock.empty(6, 9)
+        rows = np.array([0, 2, 5])
+        cols = np.array([0, 8, 4])
+        assert not jb.lookup(rows, cols).any()
+        assert not jb.lookup_keys(np.array([0, 53])).any()
+        assert jb.lookup_keys(np.empty(0, dtype=np.int64)).shape == (0,)
+
+    def test_slice_at_block_boundaries(self, rng):
+        mask = random_mask(rng, K=10)
+        jb = JamBlock.from_dense(mask)
+        np.testing.assert_array_equal(jb.slice(0, 10).to_dense(), mask)
+        empty_front = jb.slice(0, 0)
+        empty_back = jb.slice(10, 10)
+        assert empty_front.K == 0 and empty_front.total() == 0
+        assert empty_back.K == 0 and empty_back.total() == 0
+        np.testing.assert_array_equal(jb.slice(9, 10).to_dense(), mask[9:])
+
+    def test_coerce_roundtrip_below_dense_cell_limit(self, rng):
+        from repro.sim.channel import DENSE_CELL_LIMIT
+
+        K, C = 16, 64
+        assert K * C < DENSE_CELL_LIMIT
+        mask = random_mask(rng, K=K, C=C)
+        np.testing.assert_array_equal(JamBlock.coerce(mask).to_dense(), mask)
+
+    def test_coerce_roundtrip_above_dense_cell_limit(self, rng):
+        """The sparse form stays exact where resolve_block would refuse to
+        materialize a dense grid (K*C above the dense-path cutoff)."""
+        from repro.sim.channel import DENSE_CELL_LIMIT
+
+        K, C = 4, DENSE_CELL_LIMIT // 2  # K*C == 2 * DENSE_CELL_LIMIT
+        rows = np.arange(K, dtype=np.int64)
+        row_channels = [
+            rng.choice(C, size=5, replace=False).astype(np.int64) for _ in range(K)
+        ]
+        jb = JamBlock.from_rows(K, C, rows, row_channels)
+        assert K * C > DENSE_CELL_LIMIT
+        dense = jb.to_dense()
+        assert dense.sum() == jb.total() == 5 * K
+        np.testing.assert_array_equal(JamBlock.coerce(dense).to_dense(), dense)
+
+    def test_coerce_three_dimensional_mask_stacks_lanes(self, rng):
+        masks = rng.random((3, 4, 5)) < 0.4
+        jb = JamBlock.coerce(masks)
+        assert jb.K == 12 and jb.C == 5
+        np.testing.assert_array_equal(jb.to_dense(), masks.reshape(12, 5))
+
+
+class TestStack:
+    def test_stack_matches_dense_concatenation(self, rng):
+        masks = [random_mask(rng, K=k, C=6) for k in (3, 1, 5)]
+        stacked = JamBlock.stack([JamBlock.from_dense(m) for m in masks])
+        np.testing.assert_array_equal(stacked.to_dense(), np.concatenate(masks))
+
+    def test_stack_of_empties(self):
+        stacked = JamBlock.stack([JamBlock.empty(2, 4), JamBlock.empty(3, 4)])
+        assert stacked.K == 5 and stacked.total() == 0
+
+    def test_stack_single_block(self, rng):
+        mask = random_mask(rng)
+        jb = JamBlock.from_dense(mask)
+        np.testing.assert_array_equal(JamBlock.stack([jb]).to_dense(), mask)
+
+    def test_stack_rejects_mismatched_channels(self):
+        with pytest.raises(ValueError):
+            JamBlock.stack([JamBlock.empty(2, 4), JamBlock.empty(2, 5)])
+
+    def test_stack_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            JamBlock.stack([])
+
+    def test_stacked_lane_slices_recover_inputs(self, rng):
+        """The batched kernel's per-lane addressing: rows [l*K, (l+1)*K)."""
+        K = 4
+        masks = [random_mask(rng, K=K, C=7) for _ in range(3)]
+        stacked = JamBlock.stack([JamBlock.from_dense(m) for m in masks])
+        for lane, mask in enumerate(masks):
+            np.testing.assert_array_equal(
+                stacked.slice(lane * K, (lane + 1) * K).to_dense(), mask
+            )

@@ -23,6 +23,7 @@ PUBLIC_MODULES = [
     "repro.adversary.strategies",
     "repro.adversary.reactive",
     "repro.core",
+    "repro.core.batch",
     "repro.core.multicast_core",
     "repro.core.multicast",
     "repro.core.multicast_adv",
