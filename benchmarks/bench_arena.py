@@ -1,0 +1,132 @@
+"""EXP-ARENA — adaptive-arena throughput vs. the scalar reference loop.
+
+The arena runtime (:mod:`repro.arena`) exists so adaptive-adversary
+experiments can be *swept*: same slot-stepped semantics as
+:class:`repro.sim.node.ScalarNetwork` (bit-identical results — asserted here
+before any timing), but the node population advances as numpy columns.  This
+bench regenerates the acceptance figure: ``MultiCast`` at gallery scale
+(n = 64) through both runtimes, unjammed and under the reactive jammers, with
+the committed ``benchmarks/BENCH_arena.json`` recording the >= 10x headline
+speedup on the 1-core reference box.
+
+``REPRO_BENCH_JSON=<dir> pytest benchmarks/bench_arena.py -s`` regenerates
+the baseline; ``REPRO_BENCH_SMOKE=1`` shrinks the workload to CI size.  The
+in-test assertion is a loose floor so a loaded CI runner cannot flake.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once, smoke_mode
+from repro import MultiCast
+from repro.adversary.reactive import SniperJammer, TrailingJammer
+from repro.arena import run_broadcast_adaptive
+from repro.core.reference import run_scalar_multicast
+
+
+def jammer_factories(budget):
+    return {
+        "none": lambda: None,
+        "sniper": lambda: SniperJammer(budget, k=4, seed=9),
+        "trailing": lambda: TrailingJammer(budget, k=4, seed=9),
+    }
+
+
+@pytest.mark.benchmark(group="EXP-ARENA")
+def test_arena_vs_scalar_runtime(benchmark, bench_json):
+    """The acceptance figure: ArenaNetwork vs ScalarNetwork on the gallery
+    protocol, per adversary matchup.  The headline (unjammed) figure is the
+    pure runtime-vs-runtime comparison — per-slot jammer work is third-party
+    cost both runtimes pay identically, so the jammed rows sit a little
+    lower; all three are recorded."""
+    n = 16 if smoke_mode() else 64
+    a = 0.005 if smoke_mode() else 0.05
+    budget = 100_000
+    seed = 2
+
+    def experiment():
+        figures = {}
+        for name, factory in jammer_factories(budget).items():
+            t0 = time.perf_counter()
+            scalar = run_scalar_multicast(n, adversary=factory(), a=a, seed=seed)
+            scalar_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            arena = run_broadcast_adaptive(
+                MultiCast(n, a=a), n, factory(), seed=seed
+            )
+            arena_s = time.perf_counter() - t0
+            # bit-identity first: the timing means nothing otherwise
+            assert scalar.slots == arena.slots
+            assert scalar.adversary_spend == arena.adversary_spend
+            assert (scalar.node_energy == arena.node_energy).all()
+            assert (scalar.informed_slot == arena.informed_slot).all()
+            assert (scalar.halt_slot == arena.halt_slot).all()
+            figures[name] = {
+                "scalar_s": round(scalar_s, 3),
+                "arena_s": round(arena_s, 3),
+                "speedup": round(scalar_s / arena_s, 2),
+                "slots": int(arena.slots),
+                "slots_per_s_arena": round(arena.slots / arena_s),
+            }
+        return figures
+
+    figures = run_once(benchmark, experiment)
+    headline = figures["none"]["speedup"]
+    bench_json.record(
+        config={"protocol": "multicast", "n": n, "a": a, "budget": budget, "seed": seed},
+        headline_speedup=headline,
+        **figures,
+    )
+    print(
+        f"\n  [EXP-ARENA] arena vs scalar (multicast, n={n}): "
+        + ", ".join(f"{k}: {v['speedup']}x" for k, v in figures.items())
+    )
+    # headline acceptance lives in the committed full-scale BENCH_arena.json
+    # (>= 10x on the reference box); this floor only guards against gross
+    # regressions without flaking a loaded CI runner
+    assert headline > 3.0, figures
+
+
+@pytest.mark.benchmark(group="EXP-ARENA latency ladder")
+def test_reactive_latency_ladder(benchmark, bench_json):
+    """The section-8 probe in bench form: success as a function of Eve's
+    sensing latency (0 = within-slot, larger = staler), one seed per rung.
+    Shape assertion only: latency 0 defeats MultiCast, latency >= 1 does
+    not."""
+    from repro.adversary.reactive import ReactiveLatencyJammer
+
+    n = 16
+    # no smoke shrink: at a = 0.005 MultiCast's own per-iteration error rate
+    # drowns the shape being asserted, and the full a = 0.05 run is ~1 s
+    a = 0.05
+    budget = 50_000
+
+    def experiment():
+        rungs = {}
+        for latency in (0, 1, 2, 4):
+            r = run_broadcast_adaptive(
+                MultiCast(n, a=a),
+                n,
+                ReactiveLatencyJammer(budget, latency=latency, k=4, seed=9),
+                seed=5,
+            )
+            rungs[f"latency_{latency}"] = {
+                "success": bool(r.success),
+                "slots": int(r.slots),
+                "eve_spend": int(r.adversary_spend),
+                "bad_halts": int(r.halted_uninformed),
+            }
+        return rungs
+
+    rungs = run_once(benchmark, experiment)
+    bench_json.record(config={"protocol": "multicast", "n": n, "a": a}, **rungs)
+    print(
+        "\n  [EXP-ARENA] latency ladder: "
+        + ", ".join(f"L={k.split('_')[1]}: {'ok' if v['success'] else 'DEFEATED'}"
+                    for k, v in rungs.items())
+    )
+    assert not rungs["latency_0"]["success"], "within-slot sniper should win"
+    assert rungs["latency_1"]["success"] and rungs["latency_2"]["success"], (
+        "latency >= 1 should leave MultiCast standing (the paper's conjecture)"
+    )

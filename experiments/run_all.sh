@@ -26,3 +26,6 @@ run channels_C2 channels
 run channels_C4 channels
 run channels_C8 channels
 run channels_C16 channels
+# oblivious vs adaptive (EXPERIMENTS.md section 8); reactive cells run on
+# the arena runtime — single-process is fine, they are seconds per trial
+WORKERS=1 run arena arena

@@ -9,7 +9,12 @@ Monte Carlo campaign engine (:mod:`repro.exp`, ``python -m repro sweep``)
 that regenerates the paper's theorem-level claims with confidence intervals.
 Trial batches run through a lane-batched execution engine
 (:func:`run_broadcast_batch`, DESIGN.md section 6) that is bit-identical per
-trial to the scalar path and several times faster on a single core.
+trial to the scalar path and several times faster on a single core.  The
+adaptive-adversary arena (:mod:`repro.arena`, DESIGN.md section 7) probes the
+paper's section-8 conjecture: reactive jammers (``sniper``, ``trailing``,
+``reactive:<latency>``) run against every protocol on a vectorized
+slot-stepped runtime via :func:`run_broadcast_adaptive`, and
+:func:`run_broadcast` dispatches there automatically.
 
 Quickstart::
 
@@ -40,12 +45,14 @@ from repro.adversary import (
     PeriodicBurstJammer,
     PhaseTargetedJammer,
     RandomJammer,
+    ReactiveLatencyJammer,
     ReplayJammer,
     ScheduleJammer,
     SniperJammer,
     SweepJammer,
     TrailingJammer,
 )
+from repro.arena import ArenaNetwork, run_broadcast_adaptive
 from repro.core import (
     BroadcastResult,
     MultiCast,
@@ -66,6 +73,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Adversary",
+    "ArenaNetwork",
     "BatchNetwork",
     "BlanketJammer",
     "BroadcastResult",
@@ -83,6 +91,7 @@ __all__ = [
     "RadioNetwork",
     "RandomFabric",
     "RandomJammer",
+    "ReactiveLatencyJammer",
     "ReplayJammer",
     "ScheduleJammer",
     "SniperJammer",
@@ -94,6 +103,7 @@ __all__ = [
     "multicast_spans",
     "phase_intervals",
     "run_broadcast",
+    "run_broadcast_adaptive",
     "run_broadcast_batch",
     "__version__",
 ]

@@ -21,7 +21,12 @@ guess is right).
 """
 
 from repro.adversary.base import Adversary, ObliviousJammer
-from repro.adversary.reactive import ReactiveJammer, SniperJammer, TrailingJammer
+from repro.adversary.reactive import (
+    ReactiveJammer,
+    ReactiveLatencyJammer,
+    SniperJammer,
+    TrailingJammer,
+)
 from repro.adversary.strategies import (
     BlanketJammer,
     FractionalJammer,
@@ -39,6 +44,7 @@ __all__ = [
     "Adversary",
     "ObliviousJammer",
     "ReactiveJammer",
+    "ReactiveLatencyJammer",
     "SniperJammer",
     "TrailingJammer",
     "NoJammer",

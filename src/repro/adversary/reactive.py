@@ -23,24 +23,37 @@ can be probed empirically:
   uniform per-slot rehopping this is barely better than random jamming,
   supporting the paper's conjecture that adaptivity-with-latency does not
   help Eve.
+* :class:`ReactiveLatencyJammer` — the latency-parameterized family between
+  those endpoints: jam up to ``k`` of the channels that were busy
+  ``latency`` slots ago (``latency=0`` is the sniper's sensing power,
+  ``latency=1`` the trailing jammer's).  Registered as ``reactive:<latency>``
+  in :mod:`repro.exp.registry`, so campaigns can sweep the latency axis and
+  locate where Eve's advantage collapses.
 
 Adaptivity cannot be expressed through the oblivious block API (the engine
 never shows Eve node behaviour — by design), so reactive jammers run on the
-scalar slot-by-slot runtime: see
-:func:`repro.sim.node.ScalarNetwork` (``adversary`` may be reactive) and the
-``bench_adaptive_extension`` experiment.
+slot-stepped runtimes: :class:`repro.sim.node.ScalarNetwork` (``adversary``
+may be reactive; the readable reference) and the vectorized arena of
+:mod:`repro.arena` (the fast path — benchmarked against the scalar loop in
+``benchmarks/bench_arena.py``, with campaign wiring via
+:mod:`repro.exp.registry` and ``python -m repro arena``).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.sim.rng import RandomFabric
 
-__all__ = ["ReactiveJammer", "SniperJammer", "TrailingJammer"]
+__all__ = [
+    "ReactiveJammer",
+    "ReactiveLatencyJammer",
+    "SniperJammer",
+    "TrailingJammer",
+]
 
 
 class ReactiveJammer(ABC):
@@ -82,17 +95,23 @@ class ReactiveJammer(ABC):
 
     # -- runtime entry point -----------------------------------------------------
     def jam_slot(self, slot: int, busy: np.ndarray) -> np.ndarray:
+        """Budget-enforced per-slot jamming (runs every slot of an arena
+        execution, so it is written lean).  The returned mask may alias
+        ``busy`` or internal state; callers must treat it as read-only and
+        not mutate ``busy`` afterwards."""
         remaining = self.remaining
         if remaining is not None and remaining <= 0:
             return np.zeros(busy.shape, dtype=bool)
         mask = np.asarray(self.react(slot, busy), dtype=bool)
         if mask.shape != busy.shape:
             raise ValueError("react returned a mask of the wrong shape")
-        if remaining is not None and mask.sum() > remaining:
+        spend = int(mask.sum())
+        if remaining is not None and spend > remaining:
             jam_positions = np.nonzero(mask)[0]
             mask = mask.copy()
             mask[jam_positions[remaining:]] = False
-        self._spent += int(mask.sum())
+            spend = remaining
+        self._spent += spend
         return mask
 
 
@@ -108,14 +127,26 @@ class SniperJammer(ReactiveJammer):
         self.k = int(k)
 
     def react(self, slot: int, busy: np.ndarray) -> np.ndarray:
-        mask = np.zeros(busy.shape, dtype=bool)
-        hot = np.nonzero(busy)[0]
-        if hot.size == 0 or self.k == 0:
-            return mask
-        if hot.size > self.k:
-            hot = self.rng.choice(hot, size=self.k, replace=False)
-        mask[hot] = True
-        return mask
+        return _jam_k_of(self.rng, busy, busy, self.k)
+
+
+def _jam_k_of(
+    rng: np.random.Generator, target: np.ndarray, shape_like: np.ndarray, k: int
+) -> np.ndarray:
+    """Mask jamming up to ``k`` of ``target``'s hot channels (uniform subset
+    if more are hot).  When everything hot fits the budget the target mask
+    itself is the answer — returned by reference (see ``jam_slot``'s
+    read-only contract), which keeps the per-slot hot path at two numpy
+    calls for the typical one-transmission slot."""
+    if k == 0:
+        return np.zeros(shape_like.shape, dtype=bool)
+    hot_count = int(target.sum())
+    if hot_count <= k:
+        return target
+    hot = rng.choice(np.nonzero(target)[0], size=k, replace=False)
+    mask = np.zeros(shape_like.shape, dtype=bool)
+    mask[hot] = True
+    return mask
 
 
 class TrailingJammer(ReactiveJammer):
@@ -135,15 +166,54 @@ class TrailingJammer(ReactiveJammer):
         self._last_busy = None
 
     def react(self, slot: int, busy: np.ndarray) -> np.ndarray:
-        mask = np.zeros(busy.shape, dtype=bool)
         prev = self._last_busy
         self._last_busy = busy.copy()
         if prev is None or prev.shape != busy.shape:
-            return mask
-        hot = np.nonzero(prev)[0]
-        if hot.size == 0 or self.k == 0:
-            return mask
-        if hot.size > self.k:
-            hot = self.rng.choice(hot, size=self.k, replace=False)
-        mask[hot] = True
-        return mask
+            return np.zeros(busy.shape, dtype=bool)
+        return _jam_k_of(self.rng, prev, busy, self.k)
+
+
+class ReactiveLatencyJammer(ReactiveJammer):
+    """Jam up to ``k`` of the channels that were busy ``latency`` slots ago.
+
+    The family interpolating between the module's two endpoints:
+    ``latency=0`` senses the current slot (the sniper's within-slot power,
+    strictly stronger than the paper's section-8 conjecture allows) and
+    ``latency>=1`` reacts to stale information (the conjecture's regime —
+    ``latency=1`` is exactly the trailing jammer).  Sweeping the latency is
+    the cleanest way to measure *where* Eve's advantage collapses; the
+    registry exposes this as ``reactive:<latency>``.
+
+    A busy snapshot whose channel count differs from the current slot's
+    (``MultiCastAdv`` re-sizes the spectrum between phases) is stale in a
+    stronger sense and yields no jamming, like the trailing jammer's
+    first-slot blindness.
+    """
+
+    def __init__(
+        self, budget: Optional[int], *, latency: int = 1, k: int = 1, seed: int = 0
+    ):
+        super().__init__(budget=budget, seed=seed)
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.latency = int(latency)
+        self.k = int(k)
+        self._history: List[np.ndarray] = []
+
+    def reset(self) -> None:
+        super().reset()
+        self._history = []
+
+    def react(self, slot: int, busy: np.ndarray) -> np.ndarray:
+        if self.latency == 0:
+            return _jam_k_of(self.rng, busy, busy, self.k)
+        history = self._history
+        history.append(busy.copy())
+        if len(history) <= self.latency:
+            return np.zeros(busy.shape, dtype=bool)
+        target = history.pop(0)
+        if target.shape != busy.shape:
+            return np.zeros(busy.shape, dtype=bool)
+        return _jam_k_of(self.rng, target, busy, self.k)

@@ -152,7 +152,10 @@ def run_trials(
         ``"scalar"`` forces the per-trial loop / process pool.  Every
         backend produces the identical batch: trial seeds depend only on
         ``(base_seed, label, t)`` and the batched engine is bit-identical
-        per lane (DESIGN.md section 6).
+        per lane (DESIGN.md section 6).  Reactive adversaries (the adaptive
+        arena's jammers, DESIGN.md section 7) are legal under every
+        backend: the dispatchers route such trials to the arena runtime
+        per lane, so the adversary-model axis needs no call-site changes.
     lane_width:
         Trials per batched kernel pass (memory/throughput knob; no effect
         on results).

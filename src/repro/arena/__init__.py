@@ -1,0 +1,54 @@
+"""The adaptive-adversary arena: reactive jammers as first-class experiments.
+
+The paper proves its guarantees for an *oblivious* Eve and conjectures
+(section 8) that the protocols survive an *adaptive* one "with few (or even
+no) modifications".  The block engine cannot even express that question —
+obliviousness is enforced structurally — and the readable per-node scalar
+runtime is too slow to sweep.  This package is the probe:
+
+* :mod:`~repro.arena.network` — :class:`ArenaNetwork`, a vectorized
+  slot-stepped runtime: per slot, one ``(n,)`` channel column and one
+  ``(n,)`` action column, a busy-mask query to the (possibly reactive)
+  adversary, one single-slot kernel pass.  ~10x the scalar runtime at
+  gallery scale (``benchmarks/bench_arena.py``).
+* :mod:`~repro.arena.columns` — adapters lifting the reference protocols
+  (bit-identical to the scalar oracles of :mod:`repro.core.reference`) and
+  the baselines (bit-identical to the block engine on jam-free runs) into
+  that runtime.
+* :mod:`~repro.arena.run` — :func:`run_broadcast_adaptive`, the one-call
+  entry point returning a standard
+  :class:`~repro.core.result.BroadcastResult`.
+
+Reactive jammers live in :mod:`repro.adversary.reactive` and are registered
+in :mod:`repro.exp.registry` (``sniper``, ``trailing``, and the
+``reactive:<latency>`` family), so ``run_trials`` / ``repro sweep`` /
+``python -m repro arena`` accept them by name.  See DESIGN.md section 7 and
+EXPERIMENTS.md section 8 for the measured oblivious-vs-adaptive record.
+"""
+
+from repro.arena.columns import (
+    ColumnProtocol,
+    DecayColumns,
+    MultiCastAdvColumns,
+    MultiCastCColumns,
+    MultiCastColumns,
+    MultiCastCoreColumns,
+    NaiveColumns,
+)
+from repro.arena.network import ArenaNetwork, resolve_columns
+from repro.arena.run import lift_protocol, run_broadcast_adaptive, supports_protocol
+
+__all__ = [
+    "ArenaNetwork",
+    "ColumnProtocol",
+    "DecayColumns",
+    "MultiCastAdvColumns",
+    "MultiCastCColumns",
+    "MultiCastColumns",
+    "MultiCastCoreColumns",
+    "NaiveColumns",
+    "lift_protocol",
+    "resolve_columns",
+    "run_broadcast_adaptive",
+    "supports_protocol",
+]

@@ -1,0 +1,818 @@
+"""Column adapters: protocols lifted into the arena runtime.
+
+Two families, two randomness oracles, one interface:
+
+* **Reference-stream adapters** (``MultiCastCoreColumns``,
+  ``MultiCastColumns``, ``MultiCastAdvColumns``) vectorize the paper's
+  Figs. 1/2/4 exactly as the scalar oracles of :mod:`repro.core.reference`
+  play them: one generator per node (``fabric.generator("node", u)``).  The
+  Figs. 1/2 adapters consume it through the chunked period-draw discipline
+  of :class:`repro.core.reference.PeriodDraws` (same chunk grid,
+  channel-chunk then coin-chunk per node); the Fig. 4 adapter mirrors that
+  node's original per-slot draws.  Arena runs are therefore
+  **bit-identical** to :class:`repro.sim.node.ScalarNetwork` driving the
+  reference nodes — the parity suite (``tests/arena/test_parity.py``)
+  asserts equality of feedback-derived state, energy books and halt slots,
+  oblivious and reactive jammers alike.
+
+* **Engine-stream adapters** (``DecayColumns``, ``NaiveColumns``,
+  ``MultiCastCColumns`` — the latter also serving ``SingleChannelCompetitive``)
+  lift the baselines, which have no scalar oracle.  Their oracle is the
+  block engine itself: they draw from the single ``generator("nodes")``
+  stream in exactly the block sizes :func:`repro.core.result.run_broadcast`
+  uses, so on jam-free runs (and under deterministic oblivious jammers) they
+  reproduce the block engine's results bit for bit, while additionally
+  accepting reactive jammers the block path cannot express.
+
+``MultiCastCColumns`` steps the Fig. 5 round simulation at *physical* slot
+granularity — each virtual slot is a round of ``S = n/(2C)`` physical
+sub-slots, and a reactive Eve senses and jams individual physical slots,
+which is precisely the capability the oblivious fold-based path cannot
+model.
+
+All adapters end in a standard :class:`repro.core.result.BroadcastResult`
+(via :meth:`ColumnProtocol.result`), so analysis, stores and tables treat
+adaptive runs exactly like oblivious ones.  See DESIGN.md section 7.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.decay import DecayBroadcast
+from repro.baselines.naive import NaiveEpidemic
+from repro.core.limited import MultiCastC
+from repro.core.multicast import MultiCast
+from repro.core.multicast_adv import (
+    MultiCastAdv,
+    STATUS_HALT,
+    STATUS_HELPER,
+    STATUS_IN,
+    STATUS_UN,
+)
+from repro.core.multicast_core import MultiCastCore
+from repro.core.reference import DRAW_CHUNK
+from repro.core.result import BroadcastResult
+from repro.sim.channel import (
+    ACT_LISTEN,
+    ACT_SEND_BEACON,
+    ACT_SEND_MSG,
+    FB_BEACON,
+    FB_MSG,
+    FB_NOISE,
+    FB_SILENCE,
+)
+from repro.sim.rng import RandomFabric
+
+__all__ = [
+    "ColumnProtocol",
+    "MultiCastCoreColumns",
+    "MultiCastColumns",
+    "MultiCastAdvColumns",
+    "DecayColumns",
+    "NaiveColumns",
+    "MultiCastCColumns",
+]
+
+
+class ColumnProtocol(ABC):
+    """Vectorized whole-population protocol state for the arena runtime.
+
+    The driver loop (:func:`repro.arena.run.run_broadcast_adaptive`) calls
+    :meth:`begin_slot` / :meth:`end_slot` once per slot and stops when
+    :attr:`done`; :meth:`result` assembles the standard
+    :class:`~repro.core.result.BroadcastResult`.
+
+    Hot-loop contract with :meth:`ArenaNetwork.step
+    <repro.arena.network.ArenaNetwork.step>`: ``end_slot`` may receive
+    ``None`` instead of a feedback column when nobody listened (all
+    ``FB_NONE``), and a non-``None`` column is a scratch buffer only valid
+    until the next step.  Adapters precompute chunk-sized *action matrices*
+    and re-derive only the affected rows when a status changes (the same
+    draws-are-status-independent property :func:`repro.core.runner.spread_block`
+    exploits), so ``begin_slot`` is just two column slices.
+    """
+
+    n: int
+    #: False lets the network kernel skip the beacon/message payload split
+    #: (only Fig. 4's step II ever sends beacons).
+    emits_beacons = True
+
+    @abstractmethod
+    def current_channels(self) -> int:
+        """Channel count of the current slot (phase-dependent for Fig. 4)."""
+
+    @abstractmethod
+    def begin_slot(self, slot: int) -> Tuple[np.ndarray, np.ndarray, bool, bool]:
+        """Return ``(channels, actions, has_listen, has_send)`` for this slot.
+
+        The two booleans are the presence hints :meth:`ArenaNetwork.step
+        <repro.arena.network.ArenaNetwork.step>` accepts — adapters read
+        them off per-chunk column summaries instead of re-reducing the
+        action column every slot.  They may be conservatively True (after a
+        status change the summaries are only widened), never falsely False;
+        ``None`` defers the reduction to the kernel (used by the Fig. 4
+        adapter, which has no precomputed chunks).
+        """
+
+    @abstractmethod
+    def end_slot(self, slot: int, feedback: np.ndarray) -> None:
+        """Absorb the slot's ``(n,)`` feedback column."""
+
+    @property
+    @abstractmethod
+    def done(self) -> bool:
+        """True once the protocol has terminated (or hit its own caps)."""
+
+    @abstractmethod
+    def result(self, net) -> BroadcastResult:
+        """Assemble the final result from protocol state and ``net``'s books."""
+
+
+# -- reference-stream adapters (Figs. 1/2) ----------------------------------------
+
+
+class _SharedCoinColumns(ColumnProtocol):
+    """Common machinery of the Figs. 1/2 adapters: per-node streams, integer
+    coins (1 = listen; 2 = broadcast if informed), iteration-boundary halting
+    on a noisy-slot threshold.  Subclasses define the iteration schedule."""
+
+    emits_beacons = False
+
+    def __init__(self, n: int, seed: int, *, max_periods: Optional[int] = None):
+        if n < 4:
+            raise ValueError("need n >= 4 (n/2 >= 2 channels)")
+        self.n = int(n)
+        fabric = RandomFabric(seed)
+        self.rngs = [fabric.generator("node", u) for u in range(self.n)]
+        self.informed = np.zeros(self.n, dtype=bool)
+        self.informed[0] = True
+        self.halted = np.zeros(self.n, dtype=bool)
+        self.informed_slot = np.full(self.n, -1, dtype=np.int64)
+        self.informed_slot[0] = 0
+        self.halt_slot = np.full(self.n, -1, dtype=np.int64)
+        self.noisy = np.zeros(self.n, dtype=np.int64)
+        self.t = 0  # slot within the iteration
+        self.periods = 0
+        self.max_periods = max_periods
+        self.capped = False
+        self._done = False
+        self._start_period()
+
+    # -- subclass hooks ---------------------------------------------------------
+    @abstractmethod
+    def _period_params(self) -> Tuple[int, int, float]:
+        """Return the current iteration's ``(R, coin_high, halt_threshold)``."""
+
+    def _advance_period(self) -> None:
+        """Move the schedule to the next iteration (no-op for Fig. 1)."""
+
+    # -- chunked per-node draws (the PeriodDraws contract) ----------------------
+    def _start_period(self) -> None:
+        self.R, self.coin_high, self.threshold = self._period_params()
+        self._chunk_base = 0
+        self._local = 0
+        self._load_chunk()
+
+    def _load_chunk(self) -> None:
+        k = min(DRAW_CHUNK, self.R - self._chunk_base)
+        C = self.n // 2
+        self._ch = np.zeros((self.n, k), dtype=np.int64)
+        self._coin = np.zeros((self.n, k), dtype=np.int64)
+        for u in np.nonzero(~self.halted)[0]:
+            rng = self.rngs[u]
+            self._ch[u] = rng.integers(0, C, size=k)
+            self._coin[u] = rng.integers(1, self.coin_high + 1, size=k)
+        # Halted nodes keep all-zero coin rows, which map to idle below —
+        # no per-slot liveness mask needed.
+        act = np.zeros(self._coin.shape, dtype=np.int8)
+        act[self._coin == 1] = ACT_LISTEN
+        act[(self._coin == 2) & self.informed[:, None]] = ACT_SEND_MSG
+        self._act = act
+        self._listen_cols = (act == ACT_LISTEN).any(axis=0)
+        self._send_cols = (act == ACT_SEND_MSG).any(axis=0)
+
+    def current_channels(self) -> int:
+        return self.n // 2
+
+    def begin_slot(self, slot: int) -> Tuple[np.ndarray, np.ndarray, bool, bool]:
+        if self._local == self._ch.shape[1]:
+            self._chunk_base += self._ch.shape[1]
+            self._local = 0
+            self._load_chunk()
+        local = self._local
+        return (
+            self._ch[:, local],
+            self._act[:, local],
+            bool(self._listen_cols[local]),
+            bool(self._send_cols[local]),
+        )
+
+    def end_slot(self, slot: int, feedback: Optional[np.ndarray]) -> None:
+        if feedback is not None:
+            hear = (feedback == FB_MSG) & ~self.informed
+            if hear.any():
+                self.informed |= hear
+                self.informed_slot[hear] = slot
+                lo = self._local + 1
+                if lo < self._coin.shape[1]:
+                    for u in np.nonzero(hear)[0]:
+                        tail = self._act[u, lo:]
+                        hits = self._coin[u, lo:] == 2
+                        tail[hits] = ACT_SEND_MSG
+                        self._send_cols[lo:] |= hits
+            self.noisy += feedback == FB_NOISE
+        self._local += 1
+        self.t += 1
+        if self.t == self.R:  # end of iteration
+            halt_now = ~self.halted & (self.noisy < self.threshold)
+            self.halted |= halt_now
+            self.halt_slot[halt_now] = slot + 1
+            self.noisy[:] = 0
+            self.t = 0
+            self.periods += 1
+            self._advance_period()
+            if self.max_periods is not None and self.periods >= self.max_periods:
+                self.capped = True
+            if self.capped or self.halted.all():
+                self._done = True
+            else:
+                self._start_period()
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self, net) -> BroadcastResult:
+        return BroadcastResult(
+            protocol=self.name,
+            n=self.n,
+            slots=net.clock,
+            completed=bool(self.halted.all()) and not self.capped,
+            informed_slot=self.informed_slot.copy(),
+            halt_slot=self.halt_slot.copy(),
+            node_energy=net.energy.node_cost.copy(),
+            adversary_spend=net.energy.adversary_spend,
+            halted_uninformed=int((self.halted & (self.informed_slot < 0)).sum()),
+            periods=self.periods,
+            extras={"arena_runtime": True, "overrun": net.overrun},
+        )
+
+
+class MultiCastCoreColumns(_SharedCoinColumns):
+    """Fig. 1 lifted into the arena: identical iterations of ``R`` slots,
+    coin range 64, halt threshold R/128 — bit-identical to
+    :class:`repro.core.reference.ScalarMultiCastCoreNode` populations."""
+
+    def __init__(self, proto: MultiCastCore, n: int, seed: int):
+        if n != proto.n:
+            raise ValueError(f"protocol built for n={proto.n}, arena asked for n={n}")
+        self._R = proto.iteration_slots
+        self.name = proto.name + "[arena]"
+        super().__init__(n, seed, max_periods=proto.max_iterations)
+
+    def _period_params(self):
+        return self._R, 64, self._R / 128
+
+
+class MultiCastColumns(_SharedCoinColumns):
+    """Fig. 2 lifted into the arena: growing iterations R_i, coin range 2^i,
+    halt threshold R_i/2^{i+1} — bit-identical to
+    :class:`repro.core.reference.ScalarMultiCastNode` populations."""
+
+    def __init__(self, proto: MultiCast, n: int, seed: int):
+        if n != proto.n:
+            raise ValueError(f"protocol built for n={proto.n}, arena asked for n={n}")
+        self.proto = proto
+        self.i = proto.start_iteration
+        self.name = proto.name + "[arena]"
+        super().__init__(n, seed, max_periods=proto.max_iterations)
+
+    def _period_params(self):
+        R = self.proto.iteration_length(self.i)
+        return R, 2**self.i, R / 2 ** (self.i + 1)
+
+    def _advance_period(self):
+        self.i += 1
+
+
+# -- reference-stream adapter (Fig. 4) --------------------------------------------
+
+
+class MultiCastAdvColumns(ColumnProtocol):
+    """Fig. 4/6 lifted into the arena — bit-identical to
+    :class:`repro.core.reference.ScalarMultiCastAdvNode` populations.
+
+    The epoch/phase/step timetable is deterministic and shared by all nodes,
+    so it is tracked once; statuses, the four counters and the (î, ĵ)
+    helper records are ``(n,)`` columns.  Randomness mirrors the scalar
+    node's original *per-slot* draw order (channel then coin, per node) —
+    the committed w.h.p. tests pin that node's behaviour per seed, so this
+    adapter pays a per-node Python loop each slot rather than move the node
+    to the chunked discipline.  Phase channel counts reach 2^j and the runs
+    are minutes-per-trial regardless — keep ``MultiCastAdv`` out of default
+    arena grids (DESIGN.md 7).
+    """
+
+    def __init__(self, proto: MultiCastAdv, n: int, seed: int):
+        self.proto = proto
+        self.n = int(n)
+        fabric = RandomFabric(seed)
+        self.rngs = [fabric.generator("node", u) for u in range(self.n)]
+        self.status = np.full(self.n, STATUS_UN, dtype=np.int8)
+        self.status[0] = STATUS_IN
+        self.informed_slot = np.full(self.n, -1, dtype=np.int64)
+        self.informed_slot[0] = 0
+        self.halt_slot = np.full(self.n, -1, dtype=np.int64)
+        self.i_hat = np.full(self.n, -1, dtype=np.int64)
+        self.j_hat = np.full(self.n, -1, dtype=np.int64)
+        self.n_m = np.zeros(self.n, dtype=np.int64)
+        self.n_mb = np.zeros(self.n, dtype=np.int64)
+        self.n_n = np.zeros(self.n, dtype=np.int64)
+        self.n_s = np.zeros(self.n, dtype=np.int64)
+        self.i = proto.first_epoch
+        self.phase_seq = list(proto.phases_of_epoch(self.i))
+        self.phase_idx = 0
+        self.step = 1
+        self.t = 0
+        self.epochs_run = 0
+        self.capped = False
+        self._done = False
+        self.name = proto.name + "[arena]"
+        self._start_step()
+
+    @property
+    def j(self) -> int:
+        return self.phase_seq[self.phase_idx]
+
+    def _start_step(self) -> None:
+        self.R = self.proto.phase_length(self.i, self.j)
+        self.p = self.proto.participation_prob(self.i, self.j)
+        self.C = self.proto.phase_channels(self.j)
+
+    def current_channels(self) -> int:
+        return self.C
+
+    def begin_slot(self, slot: int) -> Tuple[np.ndarray, np.ndarray, Optional[bool], Optional[bool]]:
+        n = self.n
+        ch = np.zeros(n, dtype=np.int64)
+        # halted nodes keep coin 2.0, above every action threshold (p <= 1/2)
+        coin = np.full(n, 2.0, dtype=np.float64)
+        C = self.C
+        status = self.status
+        for u in range(n):
+            if status[u] != STATUS_HALT:
+                rng = self.rngs[u]
+                ch[u] = rng.integers(0, C)
+                coin[u] = rng.random()
+        un = status == STATUS_UN
+        actions = np.zeros(n, dtype=np.int8)
+        p = self.p
+        if self.step == 1:
+            hit = coin < p
+            actions[hit & un] = ACT_LISTEN
+            actions[hit & ~un] = ACT_SEND_MSG
+        else:
+            actions[coin < p] = ACT_LISTEN
+            send = (coin >= p) & (coin < 2 * p)
+            actions[send & un] = ACT_SEND_BEACON
+            actions[send & ~un] = ACT_SEND_MSG
+        return ch, actions, None, None
+
+    def end_slot(self, slot: int, feedback: Optional[np.ndarray]) -> None:
+        if feedback is None:
+            self._advance_timetable(slot)
+            return
+        if self.step == 1:
+            promote = (feedback == FB_MSG) & (self.status == STATUS_UN)
+            if promote.any():
+                self.status[promote] = STATUS_IN
+                self.informed_slot[promote] = slot
+        else:
+            self.n_m += feedback == FB_MSG
+            self.n_mb += (feedback == FB_MSG) | (feedback == FB_BEACON)
+            self.n_n += feedback == FB_NOISE
+            self.n_s += feedback == FB_SILENCE
+        self._advance_timetable(slot)
+
+    def _advance_timetable(self, slot: int) -> None:
+        self.t += 1
+        if self.t < self.R:
+            return
+        self.t = 0
+        if self.step == 1:
+            self.step = 2
+            self.n_m[:] = 0
+            self.n_mb[:] = 0
+            self.n_n[:] = 0
+            self.n_s[:] = 0
+            return
+        # end of step two: the three checks, in pseudocode order
+        proto = self.proto
+        active = self.status != STATUS_HALT
+        rp = self.R * self.p
+        rp2 = self.R * self.p * self.p
+        promote = active & (self.status == STATUS_UN) & (self.n_m >= 1)
+        self.status[promote] = STATUS_IN
+        self.informed_slot[promote] = slot + 1
+        helper_cond = (
+            active
+            & (self.status == STATUS_IN)
+            & (self.n_m >= proto.HELPER_MSG_FACTOR * rp2)
+            & (self.n_s >= proto.HELPER_SILENCE_FACTOR * rp)
+        )
+        if not (proto.max_phase is not None and self.j == proto.max_phase):
+            helper_cond &= self.n_mb <= proto.HELPER_BEACON_CEIL * rp2
+        self.status[helper_cond] = STATUS_HELPER
+        self.i_hat[helper_cond] = self.i
+        self.j_hat[helper_cond] = self.j
+        halt_cond = (
+            active
+            & (self.status == STATUS_HELPER)
+            & (self.i - self.i_hat >= proto.helper_wait)
+            & (self.j_hat == self.j)
+            & (self.n_n <= rp / proto.halt_noise_divisor)
+        )
+        self.status[halt_cond] = STATUS_HALT
+        self.halt_slot[halt_cond] = slot + 1
+        # move to the next phase / epoch
+        self.step = 1
+        self.phase_idx += 1
+        if self.phase_idx >= len(self.phase_seq):
+            self.i += 1
+            self.epochs_run += 1
+            self.phase_seq = list(self.proto.phases_of_epoch(self.i))
+            self.phase_idx = 0
+            if self.proto.max_epochs is not None and self.epochs_run >= self.proto.max_epochs:
+                self.capped = True
+        if self.capped or (self.status == STATUS_HALT).all():
+            self._done = True
+        else:
+            self._start_step()
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self, net) -> BroadcastResult:
+        halted = self.status == STATUS_HALT
+        return BroadcastResult(
+            protocol=self.name,
+            n=self.n,
+            slots=net.clock,
+            completed=bool(halted.all()) and not self.capped,
+            informed_slot=self.informed_slot.copy(),
+            halt_slot=self.halt_slot.copy(),
+            node_energy=net.energy.node_cost.copy(),
+            adversary_spend=net.energy.adversary_spend,
+            halted_uninformed=int((halted & (self.informed_slot < 0)).sum()),
+            periods=self.i - self.proto.first_epoch,
+            extras={
+                "arena_runtime": True,
+                "overrun": net.overrun,
+                "final_status": self.status.copy(),
+            },
+        )
+
+
+# -- engine-stream adapters (the baselines) ---------------------------------------
+
+
+class DecayColumns(ColumnProtocol):
+    """The Decay baseline lifted into the arena — bit-identical to
+    :meth:`repro.baselines.decay.DecayBroadcast.run` on jam-free runs and
+    under deterministic oblivious jammers (same ``generator("nodes")``
+    stream, same per-round coin block)."""
+
+    emits_beacons = False
+
+    def __init__(self, proto: DecayBroadcast, seed: int):
+        self.proto = proto
+        self.n = proto.n
+        self.rng = RandomFabric(seed).generator("nodes")
+        self.L = proto.round_slots
+        self._scale = 2.0 ** np.arange(self.L, dtype=np.float64)
+        self.informed = np.zeros(self.n, dtype=bool)
+        self.informed[0] = True
+        self.informed_slot = np.full(self.n, -1, dtype=np.int64)
+        self.informed_slot[0] = 0
+        self._zero_channels = np.zeros(self.n, dtype=np.int64)
+        self.t = 0
+        self.epochs_run = 0
+        self._load_round()
+
+    def _load_round(self) -> None:
+        self._coins = self.rng.random((self.L, self.n)) * self._scale[:, None]
+        act = np.zeros((self.L, self.n), dtype=np.int8)
+        act[:, ~self.informed] = ACT_LISTEN
+        act[(self._coins < 1.0) & self.informed[None, :]] = ACT_SEND_MSG
+        self._act = act
+        self._has_listen = bool((~self.informed).any())
+        self._send_rows = (act == ACT_SEND_MSG).any(axis=1)
+
+    def current_channels(self) -> int:
+        return 1
+
+    def begin_slot(self, slot: int) -> Tuple[np.ndarray, np.ndarray, bool, bool]:
+        return (
+            self._zero_channels,
+            self._act[self.t],
+            self._has_listen,
+            bool(self._send_rows[self.t]),
+        )
+
+    def end_slot(self, slot: int, feedback: Optional[np.ndarray]) -> None:
+        if feedback is not None:
+            hear = (feedback == FB_MSG) & ~self.informed
+            if hear.any():
+                self.informed |= hear
+                self.informed_slot[hear] = slot
+                lo = self.t + 1
+                if lo < self.L:
+                    for u in np.nonzero(hear)[0]:
+                        col = self._act[lo:, u]
+                        sends = self._coins[lo:, u] < 1.0
+                        col[:] = np.where(sends, ACT_SEND_MSG, np.int8(0))
+                        self._send_rows[lo:] |= sends
+        self.t += 1
+        if self.t == self.L:
+            self.t = 0
+            self.epochs_run += 1
+            if self.epochs_run < self.proto.epochs:
+                self._load_round()
+
+    @property
+    def done(self) -> bool:
+        return self.epochs_run >= self.proto.epochs
+
+    def result(self, net) -> BroadcastResult:
+        return BroadcastResult(
+            protocol=self.proto.name,
+            n=self.n,
+            slots=net.clock,
+            completed=not net.overrun,
+            informed_slot=self.informed_slot.copy(),
+            halt_slot=np.full(self.n, net.clock, dtype=np.int64),
+            node_energy=net.energy.node_cost.copy(),
+            adversary_spend=net.energy.adversary_spend,
+            halted_uninformed=int((~self.informed).sum()),
+            periods=self.epochs_run,
+            extras={"round_slots": self.L, "epochs": self.proto.epochs},
+        )
+
+
+class NaiveColumns(ColumnProtocol):
+    """The always-on epidemic baseline lifted into the arena — bit-identical
+    to :meth:`repro.baselines.naive.NaiveEpidemic.run` on jam-free runs and
+    under deterministic oblivious jammers, including the oracle/linger
+    termination, which only fires at the same block boundaries."""
+
+    emits_beacons = False
+
+    def __init__(self, proto: NaiveEpidemic, seed: int):
+        self.proto = proto
+        self.n = proto.n
+        self.C = proto.num_channels
+        self.rng = RandomFabric(seed).generator("nodes")
+        self.informed = np.zeros(self.n, dtype=bool)
+        self.informed[0] = True
+        self.informed_slot = np.full(self.n, -1, dtype=np.int64)
+        self.informed_slot[0] = 0
+        self.blocks = 0
+        self.completed = True
+        self._linger_left: Optional[int] = None
+        self._done = False
+        self._bt = 0  # slot within the current block
+        self._refresh_actions()
+        self._begin_block(0)
+
+    def _refresh_actions(self) -> None:
+        # p = 1 and coins are ignored: the action column only depends on the
+        # informed set, so one cached row serves until somebody learns m
+        self._act_row = np.where(
+            self.informed, ACT_SEND_MSG, ACT_LISTEN
+        ).astype(np.int8)
+        self._has_listen = not bool(self.informed.all())
+
+    def _begin_block(self, clock: int) -> None:
+        if clock >= self.proto.max_slots_budget:
+            self.completed = False
+            self._done = True
+            return
+        K = min(
+            self.proto.block_slots,
+            self.proto.max_slots_budget - clock,
+            self._linger_left if self._linger_left is not None else self.proto.block_slots,
+        )
+        self._K = max(1, K)
+        # the block engine draws (K, n) channels + coins per block; the coins
+        # are never consulted (p = 1) but the stream consumption is part of
+        # the parity contract
+        self._channels = self.rng.integers(0, self.C, size=(self._K, self.n), dtype=np.int32)
+        self.rng.random((self._K, self.n))
+        self._bt = 0
+
+    def current_channels(self) -> int:
+        return self.C
+
+    def begin_slot(self, slot: int) -> Tuple[np.ndarray, np.ndarray, bool, bool]:
+        # the source is always informed, so a sender always exists
+        return self._channels[self._bt], self._act_row, self._has_listen, True
+
+    def end_slot(self, slot: int, feedback: Optional[np.ndarray]) -> None:
+        if feedback is not None:
+            hear = (feedback == FB_MSG) & ~self.informed
+            if hear.any():
+                self.informed |= hear
+                self.informed_slot[hear] = slot
+                self._refresh_actions()
+        self._bt += 1
+        if self._bt < self._K:
+            return
+        self.blocks += 1
+        if self.informed.all():
+            if self._linger_left is None:
+                overshoot = (slot + 1) - int(self.informed_slot.max())
+                self._linger_left = max(0, self.proto.linger - overshoot)
+            else:
+                self._linger_left -= self._K
+            if self._linger_left <= 0:
+                self._done = True
+                return
+        self._begin_block(slot + 1)
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self, net) -> BroadcastResult:
+        completed = self.completed and not net.overrun
+        return BroadcastResult(
+            protocol=self.proto.name,
+            n=self.n,
+            slots=net.clock,
+            completed=completed,
+            informed_slot=self.informed_slot.copy(),
+            halt_slot=np.full(self.n, net.clock, dtype=np.int64),
+            node_energy=net.energy.node_cost.copy(),
+            adversary_spend=net.energy.adversary_spend,
+            halted_uninformed=int((~self.informed).sum()) if not completed else 0,
+            periods=self.blocks,
+            extras={"num_channels": self.C, "oracle_termination": True},
+        )
+
+
+class MultiCastCColumns(ColumnProtocol):
+    """Fig. 5 (``MultiCast(C)``, hence also the [14] single-channel baseline)
+    lifted into the arena at physical-slot granularity.
+
+    Virtual draws and the iteration schedule replicate the block engine's
+    (``generator("nodes")``, blocks of ``block_slots`` virtual rows), so
+    jam-free runs match :meth:`repro.core.limited.MultiCastC.run` bit for
+    bit.  Each virtual slot is then *played out* as a round of ``S``
+    physical sub-slots: a node whose virtual channel is ``k`` acts in
+    sub-slot ``k // C`` on physical channel ``k % C`` — and a reactive Eve
+    gets to sense and jam every physical slot individually, which the
+    fold-based oblivious path cannot express.
+    """
+
+    emits_beacons = False
+
+    def __init__(self, proto: MultiCastC, seed: int):
+        self.proto = proto
+        self.n = proto.n
+        self.C_virt = proto.num_channels
+        self.C_phys = proto.C
+        self.S = proto.slots_per_round
+        self.rng = RandomFabric(seed).generator("nodes")
+        self.informed = np.zeros(self.n, dtype=bool)
+        self.informed[0] = True
+        self.active = np.ones(self.n, dtype=bool)
+        self.informed_slot = np.full(self.n, -1, dtype=np.int64)
+        self.informed_slot[0] = 0
+        self.halt_slot = np.full(self.n, -1, dtype=np.int64)
+        self.noisy = np.zeros(self.n, dtype=np.int64)
+        self.halted_uninformed = 0
+        self.i = proto.start_iteration
+        self.iterations_run = 0
+        self.capped = False
+        self._done = False
+        self._q = 0  # physical sub-slot within the round
+        self._subslot_ids = np.arange(self.S, dtype=np.int64)[:, None]
+        self._start_iteration()
+
+    def _start_iteration(self) -> None:
+        self.R = self.proto.iteration_length(self.i)
+        self.p = self.proto.listen_prob(self.i)
+        self.threshold = self.R * self.p * self.proto.NOISE_THRESHOLD
+        self._remaining = self.R
+        self._load_block()
+
+    def _load_block(self) -> None:
+        K = min(self.proto.block_slots, self._remaining)
+        self._vch = self.rng.integers(0, self.C_virt, size=(K, self.n), dtype=np.int32)
+        self._vcoin = self.rng.random((K, self.n))
+        self._K = K
+        self._r = 0  # virtual row within the block
+        self._round_actions()
+
+    def _round_actions(self) -> None:
+        """Fix the round's virtual actions from the current informed set —
+        the shared-coin rule of :func:`repro.core.runner.shared_coin_actions` —
+        and expand them into one action column per physical sub-slot."""
+        coin = self._vcoin[self._r]
+        vact = np.zeros(self.n, dtype=np.int8)
+        vact[(coin < self.p) & self.active] = ACT_LISTEN
+        send = (coin >= self.p) & (coin < 2 * self.p) & self.informed & self.active
+        vact[send] = ACT_SEND_MSG
+        vch = self._vch[self._r].astype(np.int64)
+        self._phys_ch = vch % self.C_phys
+        subslot = vch // self.C_phys
+        # (S, n): sub-slot q's column holds each node's action iff it acts in q
+        self._sub_acts = np.where(
+            subslot[None, :] == self._subslot_ids, vact[None, :], np.int8(0)
+        )
+        self._listen_subs = (self._sub_acts == ACT_LISTEN).any(axis=1)
+        self._send_subs = (self._sub_acts == ACT_SEND_MSG).any(axis=1)
+
+    def current_channels(self) -> int:
+        return self.C_phys
+
+    def begin_slot(self, slot: int) -> Tuple[np.ndarray, np.ndarray, bool, bool]:
+        q = self._q
+        return (
+            self._phys_ch,
+            self._sub_acts[q],
+            bool(self._listen_subs[q]),
+            bool(self._send_subs[q]),
+        )
+
+    def end_slot(self, slot: int, feedback: Optional[np.ndarray]) -> None:
+        if feedback is not None:
+            hear = (feedback == FB_MSG) & ~self.informed
+            if hear.any():
+                self.informed |= hear
+                # virtual-slot semantics: the event is attributed to the round,
+                # i.e. the physical slot the round started at (the block engine
+                # records slot0 + row * S); actions of later rounds pick the
+                # new informed set up in _round_actions
+                self.informed_slot[hear] = slot - self._q
+            self.noisy += feedback == FB_NOISE
+        self._q += 1
+        if self._q < self.S:
+            return
+        self._q = 0
+        self._r += 1
+        self._remaining -= 1
+        if self._r < self._K:
+            self._round_actions()
+            return
+        if self._remaining > 0:
+            self._load_block()
+            return
+        # end of iteration
+        halt_now = self.active & (self.noisy < self.threshold)
+        self.halted_uninformed += int((halt_now & ~self.informed).sum())
+        self.halt_slot[halt_now] = slot + 1
+        self.active &= ~halt_now
+        self.noisy[:] = 0
+        self.iterations_run += 1
+        self.i += 1
+        if (
+            self.proto.max_iterations is not None
+            and self.iterations_run >= self.proto.max_iterations
+        ):
+            self.capped = True
+        if self.capped or not self.active.any():
+            self._done = True
+        else:
+            self._start_iteration()
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self, net) -> BroadcastResult:
+        completed = not self.capped and not net.overrun
+        return BroadcastResult(
+            protocol=self.proto.name,
+            n=self.n,
+            slots=net.clock,
+            completed=completed and not self.active.any(),
+            informed_slot=self.informed_slot.copy(),
+            halt_slot=self.halt_slot.copy(),
+            node_energy=net.energy.node_cost.copy(),
+            adversary_spend=net.energy.adversary_spend,
+            halted_uninformed=self.halted_uninformed,
+            periods=self.iterations_run,
+            extras={
+                "num_channels": self.C_virt,
+                "first_iteration": self.proto.start_iteration,
+                "last_iteration": self.i - 1 if self.iterations_run else None,
+                "physical_channels": self.C_phys,
+                "slots_per_round": self.S,
+            },
+        )

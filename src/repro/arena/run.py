@@ -1,0 +1,105 @@
+"""One-call adaptive execution: lift a protocol, run it, return a result.
+
+:func:`run_broadcast_adaptive` is the arena's analogue of
+:func:`repro.core.result.run_broadcast` — same signature shape, same
+:class:`~repro.core.result.BroadcastResult` out — so trial batches, campaign
+workers, stores and tables treat adaptive runs exactly like oblivious ones.
+:func:`repro.core.result.run_broadcast` itself dispatches here whenever the
+adversary is reactive, which is what carries the adversary-model axis
+through ``run_trials`` / ``CampaignSpec`` / ``repro sweep`` end to end.
+"""
+
+from __future__ import annotations
+
+from repro.arena.columns import (
+    ColumnProtocol,
+    DecayColumns,
+    MultiCastAdvColumns,
+    MultiCastCColumns,
+    MultiCastColumns,
+    MultiCastCoreColumns,
+    NaiveColumns,
+)
+from repro.arena.network import ArenaNetwork
+from repro.baselines.decay import DecayBroadcast
+from repro.baselines.naive import NaiveEpidemic
+from repro.core.limited import MultiCastC
+from repro.core.multicast import MultiCast
+from repro.core.multicast_adv import MultiCastAdv
+from repro.core.multicast_core import MultiCastCore
+from repro.core.result import BroadcastResult
+
+__all__ = ["lift_protocol", "run_broadcast_adaptive", "supports_protocol"]
+
+#: Adapter dispatch table, most-derived type first (``MultiCastC`` — which
+#: also covers ``SingleChannelCompetitive`` — before ``MultiCast``).
+_ADAPTERS = (
+    (MultiCastCore, lambda proto, n, seed: MultiCastCoreColumns(proto, n, seed)),
+    (MultiCastC, lambda proto, n, seed: MultiCastCColumns(proto, seed)),
+    (MultiCast, lambda proto, n, seed: MultiCastColumns(proto, n, seed)),
+    (MultiCastAdv, lambda proto, n, seed: MultiCastAdvColumns(proto, n, seed)),
+    (DecayBroadcast, lambda proto, n, seed: DecayColumns(proto, seed)),
+    (NaiveEpidemic, lambda proto, n, seed: NaiveColumns(proto, seed)),
+)
+
+
+def supports_protocol(protocol) -> bool:
+    """True iff :func:`lift_protocol` has a column adapter for this object
+    (lets callers pre-validate without paying for adapter construction)."""
+    return isinstance(protocol, tuple(cls for cls, _ in _ADAPTERS))
+
+
+def lift_protocol(protocol, n: int, seed: int) -> ColumnProtocol:
+    """Build the arena column adapter for a standard protocol object.
+
+    Anything unknown fails loudly: an arena run silently falling back to a
+    different protocol would corrupt a study.
+    """
+    for cls, make in _ADAPTERS:
+        if isinstance(protocol, cls):
+            return make(protocol, n, seed)
+    raise TypeError(
+        f"no arena column adapter for {type(protocol).__name__}; "
+        "see repro.arena.columns for the supported protocols"
+    )
+
+
+def run_broadcast_adaptive(
+    protocol,
+    n: int,
+    adversary=None,
+    *,
+    seed: int = 0,
+    max_slots: int = 50_000_000,
+) -> BroadcastResult:
+    """Run one execution on the arena runtime and return the result.
+
+    ``adversary`` may be ``None``, any oblivious jammer, or any reactive
+    jammer — the arena hosts all three behind one slot-stepped loop, so a
+    study can put oblivious and adaptive cells in the same table.  Reaching
+    ``max_slots`` truncates the run (``completed`` False, overrun recorded
+    in ``extras`` where the adapter keeps one) instead of raising, mirroring
+    the batched engine's per-lane overrun handling.
+    """
+    columns = lift_protocol(protocol, n, seed)
+    if adversary is not None:
+        adversary.reset()
+    net = ArenaNetwork(n, adversary, max_slots=max_slots)
+    may_beacon = columns.emits_beacons
+    clock = net.clock  # mirrors net.clock; a local int keeps the loop lean
+    while not columns.done:
+        if clock >= net.max_slots:
+            net.overrun = True
+            break
+        channels, actions, has_listen, has_send = columns.begin_slot(clock)
+        feedback = net.step(
+            channels,
+            actions,
+            columns.current_channels(),
+            may_beacon=may_beacon,
+            has_listen=has_listen,
+            has_send=has_send,
+        )
+        columns.end_slot(clock, feedback)
+        clock += 1
+    return columns.result(net)

@@ -15,6 +15,10 @@ Channel-scarcity sweep (Corollary 7.1's shape)::
 
     python -m repro channels --n 64 --budget 250000
 
+Oblivious vs. adaptive jammers on the arena runtime (section-8 probe)::
+
+    python -m repro arena --protocol multicast --n 64 --budget 100000
+
 Parallel Monte Carlo campaign (resumable; see EXPERIMENTS.md)::
 
     python -m repro sweep --trials 20 --workers 0 --store results.jsonl
@@ -32,6 +36,7 @@ from typing import Optional
 
 from repro import MultiCastC, run_broadcast
 from repro.analysis import render_table
+from repro.arena import run_broadcast_adaptive, supports_protocol
 from repro.exp import (
     CampaignInterrupted,
     CampaignSpec,
@@ -56,10 +61,10 @@ def make_protocol(name: str, n: int, *, T: int = 0, C: Optional[int] = None):
         raise SystemExit(str(exc)) from None
 
 
-def make_jammer(name: str, budget: int, seed: int):
+def make_jammer(name: str, budget: int, seed: int, n: Optional[int] = None):
     """Build a jammer by CLI name (``none`` -> no adversary; unknown -> exit)."""
     try:
-        return registry.build_jammer(name, budget, seed)
+        return registry.build_jammer(name, budget, seed, n=n)
     except UnknownNameError as exc:
         raise SystemExit(str(exc)) from None
 
@@ -78,19 +83,22 @@ def _result_rows(result):
 
 def cmd_run(args) -> int:
     proto = make_protocol(args.protocol, args.n, T=args.budget, C=args.channels)
-    adv = make_jammer(args.jammer, args.budget, seed=args.seed + 1)
+    adv = make_jammer(args.jammer, args.budget, seed=args.seed + 1, n=args.n)
     result = run_broadcast(proto, args.n, adversary=adv, seed=args.seed, max_slots=args.max_slots)
     print(render_table(["metric", "value"], _result_rows(result), title=str(result.protocol)))
     return 0 if result.success else 1
 
 
 def cmd_gallery(args) -> int:
-    jammers = ["none", "blanket", "blackout", "fractional", "frontloaded", "bursts", "sweep", "random"]
+    jammers = [
+        "none", "blanket", "blackout", "fractional", "frontloaded", "bursts",
+        "sweep", "random", "phase_targeted",
+    ]
     rows = []
     ok = True
     for name in jammers:
         proto = make_protocol(args.protocol, args.n, T=args.budget)
-        adv = make_jammer(name, args.budget, seed=args.seed + 1)
+        adv = make_jammer(name, args.budget, seed=args.seed + 1, n=args.n)
         r = run_broadcast(proto, args.n, adversary=adv, seed=args.seed, max_slots=args.max_slots)
         ok &= r.success
         rows.append([name, "yes" if r.success else "NO", r.slots, r.adversary_spend, r.max_cost])
@@ -102,6 +110,52 @@ def cmd_gallery(args) -> int:
         )
     )
     return 0 if ok else 1
+
+
+#: Default `repro arena` matchups: an unjammed control, an oblivious jammer
+#: with the same budget, and the reactive ladder from harmless (one-slot
+#: latency) to model-breaking (within-slot sniper).  MultiCastAdv works here
+#: too but is minutes-per-trial — keep it out of default grids.
+ARENA_JAMMERS = "none,random,trailing,reactive:2,sniper"
+
+
+def cmd_arena(args) -> int:
+    jammers = [j for j in args.jammers.split(",") if j]
+    rows = []
+    for name in jammers:
+        proto = make_protocol(args.protocol, args.n, T=args.budget, C=args.channels)
+        # pre-validate liftability so a genuine adapter bug still tracebacks
+        # instead of masquerading as a usage error
+        if not supports_protocol(proto):
+            raise SystemExit(
+                f"protocol {args.protocol!r} has no arena column adapter"
+            )
+        adv = make_jammer(name, args.budget, seed=args.seed + 1, n=args.n)
+        r = run_broadcast_adaptive(
+            proto, args.n, adversary=adv, seed=args.seed, max_slots=args.max_slots
+        )
+        rows.append(
+            [
+                name,
+                "yes" if r.success else "NO",
+                r.slots,
+                r.adversary_spend,
+                r.max_cost,
+                r.halted_uninformed,
+            ]
+        )
+    print(
+        render_table(
+            ["jammer", "ok", "slots", "Eve spend", "max cost", "bad halts"],
+            rows,
+            title=(
+                f"{args.protocol} (n={args.n}) on the adaptive arena, "
+                f"budget {args.budget:,} (section-8 probe)"
+            ),
+        )
+    )
+    # adaptive probes *expect* failures (that is the finding); always exit 0
+    return 0
 
 
 def cmd_channels(args) -> int:
@@ -248,6 +302,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_ch = sub.add_parser("channels", help="MultiCast(C) scarcity sweep")
     common(p_ch)
     p_ch.set_defaults(fn=cmd_channels)
+
+    p_ar = sub.add_parser(
+        "arena", help="oblivious vs adaptive jammers on the arena runtime"
+    )
+    common(p_ar)
+    p_ar.add_argument("--protocol", default="multicast")
+    p_ar.add_argument("--channels", type=int, default=None, help="C for the (C) variants")
+    p_ar.add_argument(
+        "--jammers",
+        default=ARENA_JAMMERS,
+        help=f"comma-separated jammer names (default {ARENA_JAMMERS})",
+    )
+    p_ar.set_defaults(fn=cmd_arena)
 
     p_sw = sub.add_parser("sweep", help="parallel Monte Carlo campaign (resumable)")
     # grid flags default to None so they can tell "explicit" from "absent":

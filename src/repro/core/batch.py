@@ -387,7 +387,11 @@ def run_broadcast_batch(
         raise ValueError(
             f"{len(adversaries)} adversaries for {len(seeds)} seeds (need one per lane)"
         )
-    if not hasattr(protocol, "run_batch"):
+    if not hasattr(protocol, "run_batch") or any(
+        hasattr(adversary, "jam_slot") for adversary in adversaries
+    ):
+        # reactive (adaptive) adversaries cannot run on the oblivious block
+        # engine; run_broadcast dispatches those lanes to the arena runtime
         return [
             run_broadcast(protocol, n, adversary, seed=seed, max_slots=max_slots)
             for adversary, seed in zip(adversaries, seeds)

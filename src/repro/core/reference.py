@@ -8,9 +8,16 @@ two share the channel-resolution kernel but nothing else), and to serve as
 documentation you can read next to the paper.
 
 The RNG streams differ from the vectorized runners (per-node generators here
-versus one block matrix there), so differential tests compare *behaviour* —
-success, informedness, energy statistics, halting structure — over seeds, not
-bitwise traces.
+versus one block matrix there), so differential tests against *those* compare
+behaviour — success, informedness, energy statistics, halting structure —
+over seeds, not bitwise traces.
+
+The adaptive-arena runtime (:mod:`repro.arena`) is different: its column
+adapters consume the *same* per-node streams — the Figs. 1/2 nodes through
+the shared chunked draw discipline (:class:`PeriodDraws`), the Fig. 4 node
+by mirroring its per-slot draws — so arena runs are **bit-identical** to
+these oracles — same feedback, energy books and halt slots for the same
+seeds — which is what the arena parity suite asserts.
 """
 
 from __future__ import annotations
@@ -28,6 +35,8 @@ from repro.sim.node import NodeProtocol, ScalarNetwork
 from repro.sim.rng import RandomFabric
 
 __all__ = [
+    "DRAW_CHUNK",
+    "PeriodDraws",
     "ScalarMultiCastCoreNode",
     "ScalarMultiCastNode",
     "ScalarMultiCastAdvNode",
@@ -35,6 +44,58 @@ __all__ = [
     "run_scalar_multicast",
     "run_scalar_multicast_adv",
 ]
+
+#: Rows per vectorized draw call when pre-fetching a period's randomness.
+#: Part of the randomness *contract*, not just a buffer size: a node's stream
+#: is consumed as channel-chunk then coin-chunk, in chunks of this length
+#: anchored at the period start.  The Figs. 1/2 arena column adapters
+#: (:mod:`repro.arena.columns`) replicate exactly this consumption pattern,
+#: which is what makes their arena runs bit-identical to these oracles.
+DRAW_CHUNK = 8192
+
+
+class PeriodDraws:
+    """One node's pre-drawn randomness for one period (iteration or step).
+
+    NumPy generators consume their bit stream element-wise, so drawing a
+    period's channels and coins in vectorized chunks yields the same values
+    as per-slot scalar draws — while letting both this scalar runtime and the
+    vectorized arena share one draw discipline.  Chunking (rather than one
+    ``R``-sized draw) keeps memory bounded for the late, enormous iterations
+    of ``MultiCast`` under heavy jamming.
+
+    ``coin_high=None`` draws float coins in [0, 1); an integer draws coins
+    uniformly from ``[1, coin_high]`` (the Figs. 1/2 integer coins).
+    """
+
+    def __init__(self, rng: np.random.Generator, R: int, num_channels: int,
+                 coin_high: Optional[int] = None):
+        self.rng = rng
+        self.R = int(R)
+        self.num_channels = int(num_channels)
+        self.coin_high = coin_high
+        self._base = 0  # period-absolute index of the loaded chunk's first row
+        self._pos = 0  # next row within the loaded chunk
+        self._load()
+
+    def _load(self) -> None:
+        k = min(DRAW_CHUNK, self.R - self._base)
+        self.channels = self.rng.integers(0, self.num_channels, size=k)
+        if self.coin_high is None:
+            self.coins = self.rng.random(k)
+        else:
+            self.coins = self.rng.integers(1, self.coin_high + 1, size=k)
+
+    def take(self):
+        """Return this slot's ``(channel, coin)`` and advance the cursor."""
+        if self._pos == self.channels.shape[0]:
+            self._base += self.channels.shape[0]
+            self._pos = 0
+            self._load()
+        ch = int(self.channels[self._pos])
+        coin = self.coins[self._pos]
+        self._pos += 1
+        return ch, coin
 
 
 class ScalarMultiCastCoreNode(NodeProtocol):
@@ -51,6 +112,7 @@ class ScalarMultiCastCoreNode(NodeProtocol):
         self.slot_in_iteration = 0
         self.halt_slot: Optional[int] = None
         self.informed_slot: Optional[int] = 0 if is_source else None
+        self._draws = PeriodDraws(rng, R, n // 2, coin_high=64)
 
     @property
     def halted(self) -> bool:
@@ -59,8 +121,7 @@ class ScalarMultiCastCoreNode(NodeProtocol):
     def begin_slot(self, slot: int):
         if self._halted:
             return 0, ACT_IDLE
-        ch = int(self.rng.integers(0, self.n // 2))  # ch <- rnd(1, n/2)
-        coin = int(self.rng.integers(1, 65))  # coin <- rnd(1, 64)
+        ch, coin = self._draws.take()  # ch <- rnd(1, n/2); coin <- rnd(1, 64)
         if coin == 1:
             return ch, ACT_LISTEN
         if coin == 2 and self.informed:
@@ -81,6 +142,8 @@ class ScalarMultiCastCoreNode(NodeProtocol):
                 self.halt_slot = slot + 1
             self.noisy = 0
             self.slot_in_iteration = 0
+            if not self._halted:
+                self._draws = PeriodDraws(self.rng, self.R, self.n // 2, coin_high=64)
 
 
 class ScalarMultiCastNode(NodeProtocol):
@@ -99,6 +162,7 @@ class ScalarMultiCastNode(NodeProtocol):
         self.slot_in_iteration = 0
         self.halt_slot: Optional[int] = None
         self.informed_slot: Optional[int] = 0 if is_source else None
+        self._draws = PeriodDraws(rng, self.R, n // 2, coin_high=2**self.i)
 
     def _length(self, i: int) -> int:
         return max(1, math.ceil(self.a * i * 4**i * math.log2(self.n) ** 2))
@@ -110,8 +174,7 @@ class ScalarMultiCastNode(NodeProtocol):
     def begin_slot(self, slot: int):
         if self._halted:
             return 0, ACT_IDLE
-        ch = int(self.rng.integers(0, self.n // 2))
-        coin = int(self.rng.integers(1, 2**self.i + 1))  # coin <- rnd(1, 2^i)
+        ch, coin = self._draws.take()  # ch <- rnd(1, n/2); coin <- rnd(1, 2^i)
         if coin == 1:
             return ch, ACT_LISTEN
         if coin == 2 and self.informed:
@@ -134,13 +197,26 @@ class ScalarMultiCastNode(NodeProtocol):
             self.R = self._length(self.i)
             self.noisy = 0
             self.slot_in_iteration = 0
+            if not self._halted:
+                self._draws = PeriodDraws(
+                    self.rng, self.R, self.n // 2, coin_high=2**self.i
+                )
 
 
 class ScalarMultiCastAdvNode(NodeProtocol):
     """Fig. 4, verbatim, including the four counters and the three end-of-
     step-two checks.  Phase progression (epoch i, phase j, step, slot-in-step)
     is tracked per node; all nodes advance in lockstep because the timetable
-    is deterministic."""
+    is deterministic.
+
+    Unlike the Figs. 1/2 nodes above, this class keeps the original per-slot
+    draw order (channel then coin, one slot at a time) instead of the
+    chunked :class:`PeriodDraws` discipline: the committed w.h.p. tests pin
+    this node's behaviour per seed, and the arena adapter replicates the
+    per-slot consumption instead (``MultiCastAdv`` is minutes-per-trial
+    either way; the arena's speed target concerns the gallery-scale
+    protocols).
+    """
 
     UN, IN, HELPER, HALT = 0, 1, 2, 3
 
@@ -174,7 +250,6 @@ class ScalarMultiCastAdvNode(NodeProtocol):
     def begin_slot(self, slot: int):
         if self.halted:
             return 0, ACT_IDLE
-        R = self.proto.phase_length(self.i, self.j)
         p = self.proto.participation_prob(self.i, self.j)
         ch = int(self.rng.integers(0, self.proto.phase_channels(self.j)))
         coin = self.rng.random()
@@ -282,7 +357,7 @@ def _scalar_result(name, n, net: ScalarNetwork, nodes, periods: int) -> Broadcas
         adversary_spend=net.energy.adversary_spend,
         halted_uninformed=int((halted & (informed_slot < 0)).sum()),
         periods=periods,
-        extras={"scalar_reference": True},
+        extras={"scalar_reference": True, "overrun": net.overrun},
     )
 
 

@@ -102,7 +102,22 @@ def run_broadcast(
                                adversary=BlanketJammer(budget=50_000, channels=0.5),
                                seed=7)
         assert result.success
+
+    A *reactive* adversary (one with the per-slot sensing API ``jam_slot``,
+    see :mod:`repro.adversary.reactive`) cannot run on the oblivious block
+    engine; such runs are dispatched to the arena runtime
+    (:func:`repro.arena.run_broadcast_adaptive`) transparently, so trial
+    batches and campaigns accept either adversary family through this one
+    entry point.
     """
+    if adversary is not None and hasattr(adversary, "jam_slot"):
+        if trace is not None:
+            raise ValueError("trace recording is not supported on adaptive runs")
+        from repro.arena import run_broadcast_adaptive  # local: avoids an import cycle
+
+        return run_broadcast_adaptive(
+            protocol, n, adversary, seed=seed, max_slots=max_slots
+        )
     if adversary is not None:
         adversary.reset()
     net = RadioNetwork(n, adversary, seed=seed, max_slots=max_slots)

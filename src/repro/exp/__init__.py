@@ -46,8 +46,11 @@ from repro.exp.registry import (
     build_protocol,
     canonical_jammer,
     canonical_protocol,
+    is_reactive_jammer,
     jammer_names,
+    oblivious_jammer_names,
     protocol_names,
+    reactive_jammer_names,
 )
 from repro.exp.spec import CampaignSpec, TrialSpec
 from repro.exp.store import CellStats, ResultStore, TrialRecord, aggregate
@@ -67,8 +70,11 @@ __all__ = [
     "canonical_protocol",
     "default_workers",
     "fork_map",
+    "is_reactive_jammer",
     "jammer_names",
+    "oblivious_jammer_names",
     "protocol_names",
+    "reactive_jammer_names",
     "run_campaign",
     "run_trial",
     "run_trial_batch",

@@ -82,7 +82,7 @@ def run_trial(spec: TrialSpec) -> TrialRecord:
         spec.protocol, spec.n, T=spec.budget, C=spec.channels, knobs=spec.protocol_knobs
     )
     adversary = build_jammer(
-        spec.jammer, spec.budget, spec.jammer_seed(), knobs=spec.jammer_knobs
+        spec.jammer, spec.budget, spec.jammer_seed(), knobs=spec.jammer_knobs, n=spec.n
     )
     t0 = time.perf_counter()
     result = run_broadcast(
@@ -115,7 +115,7 @@ def run_trial_batch(specs: Sequence[TrialSpec], *, lane_width: int = LANE_WIDTH)
             knobs=first.protocol_knobs,
         )
         adversaries = [
-            build_jammer(s.jammer, s.budget, s.jammer_seed(), knobs=s.jammer_knobs)
+            build_jammer(s.jammer, s.budget, s.jammer_seed(), knobs=s.jammer_knobs, n=s.n)
             for s in chunk
         ]
         t0 = time.perf_counter()

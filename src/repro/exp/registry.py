@@ -9,10 +9,24 @@ fail with the same "here is what exists" message everywhere.
 
 Each registry maps a canonical name to a builder plus aliases.  Builders take
 only JSON-representable arguments (ints, floats, dicts) — never live objects.
+
+Two jammer entries deserve a note:
+
+* ``phase_targeted`` — Eve's best oblivious play against ``MultiCastAdv``
+  (she knows the public timetable and burns her budget exactly in the
+  phases whose channel-count guess matches n); its intervals are computed
+  here from the registry's own ``ADV_KNOBS`` profile, so the name is fully
+  JSON-friendly.  Builders receive the trial's ``n`` for this.
+* the *reactive* family — ``sniper`` and ``trailing`` plus the parametric
+  ``reactive:<latency>`` names (e.g. ``reactive:0``, ``reactive:3``).
+  Reactive jammers run on the arena runtime (:mod:`repro.arena`);
+  :func:`repro.core.result.run_broadcast` dispatches there automatically,
+  so the same campaign grid can mix oblivious and adaptive cells.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -21,16 +35,31 @@ from repro.adversary import (
     FractionalJammer,
     FrontLoadedJammer,
     PeriodicBurstJammer,
+    PhaseTargetedJammer,
     RandomJammer,
+    ReactiveLatencyJammer,
+    SniperJammer,
     SweepJammer,
+    TrailingJammer,
 )
 from repro.baselines import DecayBroadcast, NaiveEpidemic, SingleChannelCompetitive
-from repro.core import MultiCast, MultiCastAdv, MultiCastAdvC, MultiCastC, MultiCastCore
+from repro.core import (
+    MultiCast,
+    MultiCastAdv,
+    MultiCastAdvC,
+    MultiCastC,
+    MultiCastCore,
+    multicast_adv_spans,
+    phase_intervals,
+)
 
 __all__ = [
     "UnknownNameError",
     "protocol_names",
     "jammer_names",
+    "oblivious_jammer_names",
+    "reactive_jammer_names",
+    "is_reactive_jammer",
     "canonical_protocol",
     "canonical_jammer",
     "build_protocol",
@@ -58,6 +87,10 @@ class UnknownNameError(ValueError):
 class _Entry:
     build: Callable
     aliases: tuple = ()
+    #: True for sense-then-jam (reactive) jammers, which need the arena
+    #: runtime; the derived name lists below read this flag, so a new entry
+    #: cannot be miscategorized by forgetting a parallel list.
+    reactive: bool = False
 
 
 def _mk_adv(**overrides):
@@ -97,34 +130,74 @@ _PROTOCOLS: Dict[str, _Entry] = {
     ),
 }
 
+#: Channels a reactive jammer hits per slot by default: enough to cover the
+#: few simultaneous transmissions of a gallery-scale slot (override with
+#: ``{"k": ...}`` in ``jammer_knobs``).
+REACTIVE_K = 4
+
+
+def _build_phase_targeted(budget, seed, knobs, n):
+    """Targeted intervals from the registry's own ``MultiCastAdv`` profile:
+    every (i, j)-phase with j = lg n − 1 (the "good" guess), over the same
+    epoch horizon the ``adv`` entry runs."""
+    knobs = dict(knobs)
+    n_eff = 64 if n is None else int(n)
+    phase = knobs.pop("phase", max(0, int(math.log2(max(2, n_eff))) - 1))
+    epochs = int(knobs.pop("epochs", 32))
+    proto = MultiCastAdv(**_mk_adv())
+    intervals = phase_intervals(multicast_adv_spans(proto, epochs), phase=phase)
+    return PhaseTargetedJammer(
+        budget, intervals, **{"channel_fraction": 1.0, "seed": seed, **knobs}
+    )
+
+
 _JAMMERS: Dict[str, _Entry] = {
-    "none": _Entry(lambda budget, seed, knobs: None),
+    "none": _Entry(lambda budget, seed, knobs, n: None),
     "blanket": _Entry(
-        lambda budget, seed, knobs: BlanketJammer(
+        lambda budget, seed, knobs, n: BlanketJammer(
             budget, **{"channels": 0.9, "placement": "random", "seed": seed, **knobs}
         )
     ),
     "blackout": _Entry(
-        lambda budget, seed, knobs: BlanketJammer(
+        lambda budget, seed, knobs, n: BlanketJammer(
             budget, **{"channels": 1.0, "seed": seed, **knobs}
         )
     ),
     "fractional": _Entry(
-        lambda budget, seed, knobs: FractionalJammer(budget, 0.9, 0.9, seed=seed, **knobs)
+        lambda budget, seed, knobs, n: FractionalJammer(budget, 0.9, 0.9, seed=seed, **knobs)
     ),
-    "frontloaded": _Entry(lambda budget, seed, knobs: FrontLoadedJammer(budget, **knobs)),
+    "frontloaded": _Entry(lambda budget, seed, knobs, n: FrontLoadedJammer(budget, **knobs)),
     "bursts": _Entry(
-        lambda budget, seed, knobs: PeriodicBurstJammer(
+        lambda budget, seed, knobs, n: PeriodicBurstJammer(
             budget, **{"period": 90, "burst": 60, "channels": 1.0, "seed": seed, **knobs}
         )
     ),
     "sweep": _Entry(
-        lambda budget, seed, knobs: SweepJammer(budget, **{"width": 8, "seed": seed, **knobs})
+        lambda budget, seed, knobs, n: SweepJammer(budget, **{"width": 8, "seed": seed, **knobs})
     ),
     "random": _Entry(
-        lambda budget, seed, knobs: RandomJammer(budget, 0.5, seed=seed, **knobs)
+        lambda budget, seed, knobs, n: RandomJammer(budget, 0.5, seed=seed, **knobs)
+    ),
+    "phase_targeted": _Entry(_build_phase_targeted, aliases=("phase",)),
+    # -- reactive (adaptive) jammers: run on the arena runtime ----------------
+    "sniper": _Entry(
+        lambda budget, seed, knobs, n: SniperJammer(
+            budget, **{"k": REACTIVE_K, "seed": seed, **knobs}
+        ),
+        reactive=True,
+    ),
+    "trailing": _Entry(
+        lambda budget, seed, knobs, n: TrailingJammer(
+            budget, **{"k": REACTIVE_K, "seed": seed, **knobs}
+        ),
+        reactive=True,
     ),
 }
+
+#: Prefix of the parametric reactive family: ``reactive:<latency>`` builds a
+#: :class:`repro.adversary.reactive.ReactiveLatencyJammer` with that sensing
+#: latency (``reactive:0`` = within-slot, ``reactive:1`` = trailing).
+REACTIVE_PREFIX = "reactive:"
 
 
 def protocol_names() -> List[str]:
@@ -133,8 +206,29 @@ def protocol_names() -> List[str]:
 
 
 def jammer_names() -> List[str]:
-    """Canonical jammer names, in registry order."""
+    """Canonical jammer names, in registry order (the parametric
+    ``reactive:<latency>`` family is additionally accepted by
+    :func:`canonical_jammer`)."""
     return list(_JAMMERS)
+
+
+def oblivious_jammer_names() -> List[str]:
+    """Registry jammers expressible on the oblivious block engine."""
+    return [name for name, entry in _JAMMERS.items() if not entry.reactive]
+
+
+def reactive_jammer_names() -> List[str]:
+    """Registry jammers that need the arena runtime (excludes the parametric
+    ``reactive:<latency>`` family, which is reactive by construction)."""
+    return [name for name, entry in _JAMMERS.items() if entry.reactive]
+
+
+def is_reactive_jammer(name: str) -> bool:
+    """True iff the (canonicalized) name builds a reactive jammer."""
+    canon = canonical_jammer(name)
+    if canon.startswith(REACTIVE_PREFIX):
+        return True
+    return _JAMMERS[canon].reactive
 
 
 def _resolve(kind: str, table: Dict[str, _Entry], name: str) -> str:
@@ -144,7 +238,10 @@ def _resolve(kind: str, table: Dict[str, _Entry], name: str) -> str:
     for canon, entry in table.items():
         if key in entry.aliases:
             return canon
-    raise UnknownNameError(kind, name, list(table))
+    choices = list(table)
+    if kind == "jammer":
+        choices.append("reactive:<latency>")
+    raise UnknownNameError(kind, name, choices)
 
 
 def canonical_protocol(name: str) -> str:
@@ -153,7 +250,23 @@ def canonical_protocol(name: str) -> str:
 
 
 def canonical_jammer(name: str) -> str:
-    """Resolve a jammer name or alias to its canonical registry name."""
+    """Resolve a jammer name or alias to its canonical registry name.
+
+    Besides the fixed table, accepts the parametric family
+    ``reactive:<latency>`` for any non-negative integer latency.
+    """
+    key = name.lower()
+    if key.startswith(REACTIVE_PREFIX):
+        suffix = key[len(REACTIVE_PREFIX):]
+        try:
+            latency = int(suffix)
+        except ValueError:
+            latency = -1
+        if latency < 0:
+            raise UnknownNameError(
+                "jammer", name, [*_JAMMERS, "reactive:<latency>"]
+            )
+        return f"{REACTIVE_PREFIX}{latency}"
     return _resolve("jammer", _JAMMERS, name)
 
 
@@ -180,9 +293,31 @@ def build_jammer(
     seed: int,
     *,
     knobs: Optional[dict] = None,
+    n: Optional[int] = None,
 ):
-    """Build a fresh jammer by registry name (``none`` or budget 0 -> None)."""
+    """Build a fresh jammer by registry name (``none`` or budget 0 -> None).
+
+    ``n`` is the trial's network size; only timetable-aware strategies
+    (``phase_targeted``) consult it, falling back to the gallery default 64
+    when absent.
+    """
     canon = canonical_jammer(name)
     if canon == "none" or budget == 0:
         return None
-    return _JAMMERS[canon].build(int(budget), int(seed), dict(knobs or {}))
+    if canon.startswith(REACTIVE_PREFIX):
+        latency = int(canon[len(REACTIVE_PREFIX):])
+        knobs = dict(knobs or {})
+        # the latency is the name's identity — stores/tables key cells by it,
+        # so a contradicting knob would record trials under the wrong cell
+        if knobs.pop("latency", latency) != latency:
+            raise ValueError(
+                f"jammer {canon!r} carries its latency in the name; "
+                "a conflicting 'latency' knob is not allowed"
+            )
+        return ReactiveLatencyJammer(
+            int(budget),
+            **{"latency": latency, "k": REACTIVE_K, "seed": int(seed), **knobs},
+        )
+    return _JAMMERS[canon].build(
+        int(budget), int(seed), dict(knobs or {}), None if n is None else int(n)
+    )

@@ -78,6 +78,10 @@ class ScalarNetwork:
         self.adversary = adversary
         self.energy = EnergyLedger(len(self.nodes))
         self.max_slots = int(max_slots)
+        #: True once :meth:`run` stopped at ``max_slots`` with nodes still
+        #: active — the scalar analogue of the batched engine's per-lane
+        #: overrun mask (callers report such runs truncated, not completed).
+        self.overrun = False
 
     @property
     def clock(self) -> int:
@@ -123,10 +127,17 @@ class ScalarNetwork:
 
         ``num_channels`` may be an int or a callable ``slot -> int`` for
         protocols whose channel count varies over time (``MultiCastAdv``).
+
+        Hitting ``max_slots`` with nodes still active does not raise (one
+        truncated execution should not abort a study), but it is never
+        silent either: :attr:`overrun` flips to True, the way
+        :meth:`repro.sim.engine.BatchNetwork.commit_block` reports per-lane
+        overruns.  Callers must treat such a run as truncated.
         """
         get_channels = num_channels if callable(num_channels) else (lambda _s: num_channels)
         while not all(node.halted for node in self.nodes):
             if self.clock >= self.max_slots:
+                self.overrun = True
                 break
             self.step(int(get_channels(self.clock)))
         return self.clock

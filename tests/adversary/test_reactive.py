@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.adversary.reactive import ReactiveJammer, SniperJammer, TrailingJammer
+from repro.adversary.reactive import (
+    ReactiveJammer,
+    ReactiveLatencyJammer,
+    SniperJammer,
+    TrailingJammer,
+)
 from repro.core.reference import run_scalar_multicast
 from repro.sim.channel import ACT_IDLE, ACT_LISTEN, ACT_SEND_MSG, FB_MSG, FB_NOISE
 from repro.sim.node import NodeProtocol, ScalarNetwork
@@ -54,6 +59,61 @@ class TestTrailingJammer:
         adv.jam_slot(0, np.ones(2, dtype=bool))
         adv.reset()
         assert not adv.jam_slot(0, np.ones(2, dtype=bool)).any()
+
+
+class TestReactiveLatencyJammer:
+    def test_latency_zero_is_within_slot(self):
+        adv = ReactiveLatencyJammer(budget=None, latency=0, k=2, seed=1)
+        busy = np.array([True, False, True, False])
+        mask = adv.jam_slot(0, busy)
+        np.testing.assert_array_equal(mask, busy)
+
+    def test_latency_delays_the_snapshot(self):
+        adv = ReactiveLatencyJammer(budget=None, latency=2, k=4)
+        first = np.array([True, False, False])
+        # blind until `latency` snapshots have accumulated
+        assert not adv.jam_slot(0, first).any()
+        assert not adv.jam_slot(1, np.array([False, True, False])).any()
+        mask = adv.jam_slot(2, np.array([False, False, True]))
+        np.testing.assert_array_equal(mask, first)
+
+    def test_latency_one_matches_trailing(self):
+        lat = ReactiveLatencyJammer(budget=None, latency=1, k=2, seed=3)
+        trail = TrailingJammer(budget=None, k=2, seed=3)
+        rng = np.random.default_rng(0)
+        for slot in range(30):
+            busy = rng.random(6) < 0.4
+            np.testing.assert_array_equal(
+                lat.jam_slot(slot, busy), trail.jam_slot(slot, busy)
+            )
+
+    def test_channel_count_change_blanks_stale_snapshot(self):
+        adv = ReactiveLatencyJammer(budget=None, latency=1, k=4)
+        adv.jam_slot(0, np.ones(4, dtype=bool))
+        assert not adv.jam_slot(1, np.ones(8, dtype=bool)).any()
+
+    def test_budget_and_reset(self):
+        adv = ReactiveLatencyJammer(budget=3, latency=0, k=4, seed=2)
+        busy = np.ones(4, dtype=bool)
+        total = sum(int(adv.jam_slot(t, busy).sum()) for t in range(3))
+        assert total == 3 and adv.spent == 3
+        adv.reset()
+        assert adv.spent == 0
+        assert adv.jam_slot(0, busy).sum() == 3  # clipped to budget again
+
+    def test_k_subset_when_spectrum_is_wide(self):
+        adv = ReactiveLatencyJammer(budget=None, latency=0, k=2, seed=5)
+        busy = np.ones(10, dtype=bool)
+        for slot in range(10):
+            mask = adv.jam_slot(slot, busy)
+            assert mask.sum() == 2
+            assert not mask[~busy].any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReactiveLatencyJammer(budget=None, latency=-1)
+        with pytest.raises(ValueError):
+            ReactiveLatencyJammer(budget=None, k=-1)
 
 
 class _Sender(NodeProtocol):

@@ -1,0 +1,199 @@
+"""The adversary-model axis end to end: registry -> trials -> campaign -> CLI.
+
+The acceptance path of the arena subsystem: a reactive jammer *name* must
+work everywhere an oblivious one does — ``build_jammer``, ``run_broadcast``
+(auto-dispatch), ``run_broadcast_batch`` (per-lane fallback), ``run_trials``,
+``CampaignSpec``/``run_campaign`` with a store, and ``python -m repro
+sweep``/``arena``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MultiCast, run_broadcast, run_broadcast_batch
+from repro.adversary.reactive import ReactiveLatencyJammer, SniperJammer, TrailingJammer
+from repro.analysis.stats import run_trials
+from repro.cli import main
+from repro.exp import (
+    CampaignSpec,
+    ResultStore,
+    UnknownNameError,
+    aggregate,
+    build_jammer,
+    canonical_jammer,
+    is_reactive_jammer,
+    jammer_names,
+    oblivious_jammer_names,
+    reactive_jammer_names,
+    run_campaign,
+)
+
+N = 16
+A = 0.005  # small MultiCast iteration scale keeps each run ~1k slots
+
+
+def fast_multicast():
+    return MultiCast(N, a=A)
+
+
+class TestRegistry:
+    def test_reactive_names_registered(self):
+        assert {"sniper", "trailing"} <= set(jammer_names())
+        assert "phase_targeted" in jammer_names()
+        assert set(reactive_jammer_names()) == {"sniper", "trailing"}
+        assert "sniper" not in oblivious_jammer_names()
+        assert "phase_targeted" in oblivious_jammer_names()
+
+    def test_reactive_family_canonicalization(self):
+        assert canonical_jammer("reactive:0") == "reactive:0"
+        assert canonical_jammer("Reactive:7") == "reactive:7"
+        assert is_reactive_jammer("reactive:2")
+        assert is_reactive_jammer("sniper")
+        assert not is_reactive_jammer("blanket")
+
+    @pytest.mark.parametrize("bad", ["reactive:", "reactive:x", "reactive:-1"])
+    def test_reactive_family_rejects_bad_latency(self, bad):
+        with pytest.raises(UnknownNameError) as exc:
+            canonical_jammer(bad)
+        assert "reactive:<latency>" in str(exc.value)
+
+    def test_builders(self):
+        sniper = build_jammer("sniper", 1_000, 3)
+        assert isinstance(sniper, SniperJammer)
+        trailing = build_jammer("trailing", 1_000, 3, knobs={"k": 2})
+        assert isinstance(trailing, TrailingJammer) and trailing.k == 2
+        fam = build_jammer("reactive:3", 1_000, 3)
+        assert isinstance(fam, ReactiveLatencyJammer) and fam.latency == 3
+        # the name carries the latency; a redundant knob is fine, a
+        # contradicting one would mis-key store cells and must be rejected
+        same = build_jammer("reactive:3", 1_000, 3, knobs={"latency": 3})
+        assert same.latency == 3
+        with pytest.raises(ValueError):
+            build_jammer("reactive:3", 1_000, 3, knobs={"latency": 0})
+
+    def test_phase_targeted_builder_uses_n(self):
+        from repro.adversary import PhaseTargetedJammer
+
+        jam = build_jammer("phase_targeted", 1_000, 3, n=N)
+        assert isinstance(jam, PhaseTargetedJammer)
+        assert jam.intervals  # timetable intervals got computed
+        # j = lg 16 - 1 = 3 is the default target phase for n=16
+        other = build_jammer("phase_targeted", 1_000, 3, n=N, knobs={"phase": 0})
+        assert other.intervals != jam.intervals
+
+    def test_campaign_spec_accepts_reactive_names(self):
+        spec = CampaignSpec(
+            protocols=["multicast"], jammers=["trailing", "reactive:2"], ns=[N]
+        )
+        assert spec.jammers == ["trailing", "reactive:2"]
+        keys = {s.key() for s in spec.trial_specs()}
+        assert any("reactive:2" in k for k in keys)
+
+
+class TestDispatch:
+    def test_run_broadcast_dispatches_reactive_to_arena(self):
+        r = run_broadcast(
+            fast_multicast(), N, TrailingJammer(2_000, k=4, seed=5), seed=7
+        )
+        assert r.extras.get("arena_runtime")
+        assert r.protocol.endswith("[arena]")
+
+    def test_run_broadcast_rejects_trace_on_adaptive_runs(self):
+        from repro.sim.trace import TraceRecorder
+
+        with pytest.raises(ValueError):
+            run_broadcast(
+                fast_multicast(), N, SniperJammer(100, k=1), seed=1,
+                trace=TraceRecorder(),
+            )
+
+    def test_run_broadcast_batch_falls_back_per_lane(self):
+        seeds = [4, 9]
+        adversaries = [TrailingJammer(2_000, k=4, seed=i) for i in range(2)]
+        batched = run_broadcast_batch(fast_multicast(), N, adversaries, seeds)
+        for i, seed in enumerate(seeds):
+            reference = run_broadcast(
+                fast_multicast(), N, TrailingJammer(2_000, k=4, seed=i), seed=seed
+            )
+            assert batched[i].slots == reference.slots
+            np.testing.assert_array_equal(
+                batched[i].node_energy, reference.node_energy
+            )
+            assert batched[i].adversary_spend == reference.adversary_spend
+
+    def test_run_trials_with_reactive_factory(self):
+        batch = run_trials(
+            fast_multicast,
+            N,
+            lambda seed: TrailingJammer(2_000, k=4, seed=seed),
+            trials=3,
+            base_seed=2,
+            label="adaptive-flow",
+        )
+        # pipeline properties, not protocol luck: every trial ran on the
+        # arena to completion with a live, budget-bounded adversary
+        assert len(batch) == 3
+        assert all(r.completed for r in batch.results)
+        assert all(r.extras.get("arena_runtime") for r in batch.results)
+        assert (batch.adversary_spend > 0).all()
+        assert (batch.adversary_spend <= 2_000).all()
+
+
+class TestCampaign:
+    def test_reactive_campaign_stores_and_aggregates(self, tmp_path):
+        store_path = str(tmp_path / "arena.jsonl")
+        spec = CampaignSpec(
+            protocols=["multicast"],
+            jammers=["trailing", "sniper"],
+            ns=[N],
+            budget=2_000,
+            trials=2,
+            base_seed=1,
+        )
+        with ResultStore(store_path) as store:
+            records = run_campaign(spec, store, workers=1)
+        assert len(records) == 4
+        cells = {(c.jammer): c for c in aggregate(records)}
+        # the section-8 finding, in miniature: the within-slot sniper defeats
+        # MultiCast while the one-slot-latency jammer does not
+        assert cells["trailing"].success_rate == 1.0
+        assert cells["sniper"].success_rate == 0.0
+        assert cells["sniper"].violations > 0
+        # resume is a no-op
+        with ResultStore(store_path) as store:
+            again = run_campaign(spec, store, workers=1)
+        assert [r.key for r in again] == [r.key for r in records]
+
+
+class TestCLI:
+    def test_sweep_accepts_reactive_jammer_end_to_end(self, tmp_path, capsys):
+        store = str(tmp_path / "sweep.jsonl")
+        rc = main(
+            [
+                "sweep", "--protocols", "multicast", "--jammers", "trailing",
+                "--n", str(N), "--budget", "2000", "--trials", "2",
+                "--workers", "1", "--store", store, "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trailing" in out
+        with open(store) as fh:
+            assert len(fh.read().strip().splitlines()) == 2
+
+    def test_arena_command(self, capsys):
+        rc = main(
+            [
+                "arena", "--protocol", "multicast", "--n", str(N),
+                "--budget", "2000", "--seed", "3",
+                "--jammers", "none,trailing,sniper",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "adaptive arena" in out
+        assert "trailing" in out and "sniper" in out
+
+    def test_gallery_includes_phase_targeted(self, capsys):
+        main(["gallery", "--protocol", "core", "--n", str(N), "--budget", "2000", "--seed", "2"])
+        assert "phase_targeted" in capsys.readouterr().out

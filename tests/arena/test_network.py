@@ -1,0 +1,145 @@
+"""Unit tests for the arena runtime: kernel semantics, energy, overrun."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import BlanketJammer
+from repro.adversary.reactive import SniperJammer
+from repro.arena import ArenaNetwork, resolve_columns
+from repro.sim.channel import (
+    ACT_IDLE,
+    ACT_LISTEN,
+    ACT_SEND_BEACON,
+    ACT_SEND_MSG,
+    FB_MSG,
+    FB_NOISE,
+    FB_NONE,
+    FB_SILENCE,
+    resolve_slot,
+)
+
+
+def random_slot(rng, n, C, p_send=0.2, p_listen=0.3, beacons=False):
+    channels = rng.integers(0, C, size=n)
+    coin = rng.random(n)
+    actions = np.zeros(n, dtype=np.int8)
+    actions[coin < p_listen] = ACT_LISTEN
+    actions[coin > 1 - p_send] = ACT_SEND_MSG
+    if beacons:
+        actions[(coin > 1 - p_send / 2)] = ACT_SEND_BEACON
+    return channels, actions
+
+
+class TestResolveColumns:
+    """The single-slot column kernel must agree with the block kernel."""
+
+    @pytest.mark.parametrize("beacons", [False, True])
+    @pytest.mark.parametrize("jam_p", [0.0, 0.4])
+    def test_matches_resolve_slot(self, rng, beacons, jam_p):
+        n, C = 32, 8
+        for trial in range(50):
+            channels, actions = random_slot(rng, n, C, beacons=beacons)
+            jam = rng.random(C) < jam_p
+            expected = resolve_slot(channels, actions, jam)
+            got = resolve_columns(channels, actions, jam if jam_p else None, C)
+            if jam_p == 0.0:
+                # also exercise the explicit all-false mask
+                np.testing.assert_array_equal(
+                    resolve_columns(channels, actions, jam, C), expected
+                )
+            np.testing.assert_array_equal(got, expected)
+
+    def test_network_step_matches_resolve_columns(self, rng):
+        """The inlined fast path of ArenaNetwork.step (buffer reuse, payload
+        split skipping, presence hints) must equal the reference kernel."""
+        n, C = 24, 6
+        for trial in range(60):
+            channels, actions = random_slot(rng, n, C, beacons=(trial % 2 == 0))
+            expected = resolve_columns(channels, actions, None, C)
+            net = ArenaNetwork(n)
+            got = net.step(channels, actions, C)
+            if got is None:
+                assert (expected == FB_NONE).all()
+            else:
+                np.testing.assert_array_equal(got, expected)
+            # conservative hints must not change the outcome
+            net2 = ArenaNetwork(n)
+            got2 = net2.step(
+                channels, actions, C, may_beacon=True, has_listen=True, has_send=True
+            )
+            np.testing.assert_array_equal(got2, expected)
+
+
+class TestArenaNetwork:
+    def test_energy_accounting(self):
+        net = ArenaNetwork(2)
+        channels = np.zeros(2, dtype=np.int64)
+        fb = net.step(channels, np.array([ACT_SEND_MSG, ACT_LISTEN], dtype=np.int8), 1)
+        assert fb[1] == FB_MSG and fb[0] == FB_NONE
+        assert net.energy.send_slots[0] == 1
+        assert net.energy.listen_slots[1] == 1
+        assert net.clock == 1
+
+    def test_oblivious_adversary_charged_per_slot(self):
+        adv = BlanketJammer(budget=3, channels=1)
+        adv.reset()
+        net = ArenaNetwork(2, adv)
+        channels = np.zeros(2, dtype=np.int64)
+        actions = np.array([ACT_SEND_MSG, ACT_LISTEN], dtype=np.int8)
+        feedbacks = [net.step(channels, actions, 1).copy() for _ in range(5)]
+        # first three slots jammed -> noise; then Eve is broke
+        assert [fb[1] for fb in feedbacks[:3]] == [FB_NOISE] * 3
+        assert [fb[1] for fb in feedbacks[3:]] == [FB_MSG] * 2
+        assert net.energy.adversary_spend == 3
+
+    def test_reactive_adversary_sees_busy_mask(self):
+        adv = SniperJammer(budget=None, k=1, seed=1)
+        net = ArenaNetwork(2, adv)
+        channels = np.array([2, 2], dtype=np.int64)
+        actions = np.array([ACT_SEND_MSG, ACT_LISTEN], dtype=np.int8)
+        fb = net.step(channels, actions, 4)
+        assert fb[1] == FB_NOISE  # within-slot snipe on the live channel
+        assert net.energy.adversary_spend == 1
+
+    def test_silence_on_idle_spectrum(self):
+        net = ArenaNetwork(2)
+        fb = net.step(
+            np.array([0, 1], dtype=np.int64),
+            np.array([ACT_IDLE, ACT_LISTEN], dtype=np.int8),
+            2,
+        )
+        assert fb[1] == FB_SILENCE
+
+    def test_no_listener_returns_none(self):
+        net = ArenaNetwork(2)
+        fb = net.step(
+            np.zeros(2, dtype=np.int64),
+            np.array([ACT_SEND_MSG, ACT_IDLE], dtype=np.int8),
+            1,
+        )
+        assert fb is None
+        assert net.energy.send_slots[0] == 1  # energy still charged
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            ArenaNetwork(1)
+
+
+class TestOverrun:
+    def test_truncated_run_is_flagged_not_silent(self):
+        """Arena analogue of the ScalarNetwork overrun regression: a run
+        stopped at max_slots reports completed=False and the overrun flag."""
+        from repro import MultiCast
+        from repro.arena import run_broadcast_adaptive
+        from repro.adversary import BlanketJammer
+
+        r = run_broadcast_adaptive(
+            MultiCast(16, a=0.005),
+            16,
+            BlanketJammer(budget=10**9, channels=1.0),
+            seed=1,
+            max_slots=500,
+        )
+        assert r.slots == 500
+        assert not r.completed
+        assert r.extras["overrun"]

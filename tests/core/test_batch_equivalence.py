@@ -17,7 +17,7 @@ from repro.core import (
     run_broadcast,
     run_broadcast_batch,
 )
-from repro.exp.registry import build_jammer, build_protocol, jammer_names
+from repro.exp.registry import build_jammer, build_protocol, oblivious_jammer_names
 
 N = 16
 BUDGET = 4_000
@@ -69,10 +69,14 @@ def run_both_ways(factory, jammer_name, *, budget=BUDGET, seeds=SEEDS, max_slots
         assert_results_equal(batched[i], reference, (jammer_name, i))
 
 
-@pytest.mark.parametrize("jammer_name", sorted(jammer_names()))
+@pytest.mark.parametrize("jammer_name", sorted(oblivious_jammer_names()))
 @pytest.mark.parametrize("protocol_name", sorted(BATCHED_PROTOCOLS))
 def test_batched_equals_scalar(protocol_name, jammer_name):
-    """The acceptance matrix: every batched protocol x every registry jammer."""
+    """The acceptance matrix: every batched protocol x every *oblivious*
+    registry jammer.  Reactive jammers never reach the lane engine — the
+    dispatcher falls back to per-lane arena runs, covered by
+    tests/arena/test_adaptive_flow.py — so batching them here would only
+    re-time the arena against itself."""
     budget = 0 if jammer_name == "none" else BUDGET
     run_both_ways(BATCHED_PROTOCOLS[protocol_name], jammer_name, budget=budget)
 

@@ -78,10 +78,25 @@ class TestScalarMultiCastAdv:
     tests in the suite by an order of magnitude).  Marked ``slow`` so
     ``-m "not slow"`` gives a fast local loop; the tier-1 command runs them."""
 
-    def test_small_run_success(self):
+    def test_small_run_success_and_arena_parity(self):
+        """One scalar end-to-end run serves two assertions: the oracle
+        succeeds, and the arena adapter reproduces it bit for bit through
+        every phase up to and including the halts (the fast truncated
+        parity in tests/arena/test_parity.py never reaches a halt).  Fused
+        so the minutes-long scalar workload is paid once."""
+        from repro.arena import run_broadcast_adaptive
+
         proto = MultiCastAdv(**ADV_FAST)
         r = run_scalar_multicast_adv(proto, 8, seed=1, max_slots=3_000_000)
         assert r.success
+        arena = run_broadcast_adaptive(proto, 8, None, seed=1, max_slots=3_000_000)
+        assert arena.success
+        for attr in ("slots", "periods", "adversary_spend", "halted_uninformed"):
+            assert getattr(r, attr) == getattr(arena, attr), attr
+        for attr in ("informed_slot", "halt_slot", "node_energy"):
+            np.testing.assert_array_equal(
+                getattr(r, attr), getattr(arena, attr), err_msg=attr
+            )
 
     def test_timetable_lockstep_with_vectorized(self):
         """Same protocol object: scalar and vectorized halts land at the

@@ -79,6 +79,36 @@ class TestScalarNetwork:
         slots = net.run(1)
         assert slots == 50
 
+    def test_overrun_is_flagged_not_silent(self):
+        """Regression: hitting max_slots used to truncate with no signal;
+        now the run carries the overrun flag, like the batched engine's
+        per-lane overrun mask."""
+        nodes = [Listener(), Listener()]
+        net = ScalarNetwork(nodes, max_slots=50)
+        assert not net.overrun
+        net.run(1)
+        assert net.overrun
+
+    def test_completed_run_does_not_flag_overrun(self):
+        nodes = [Beacon(3), Listener()]
+        net = ScalarNetwork(nodes, max_slots=50)
+        net.run(1)
+        assert not net.overrun
+
+    def test_reference_result_records_overrun(self):
+        """The scalar reference drivers surface the flag in extras."""
+        from repro import BlanketJammer
+        from repro.core.reference import run_scalar_multicast
+
+        r = run_scalar_multicast(
+            16, adversary=BlanketJammer(10**9, channels=1.0), a=0.005,
+            seed=1, max_slots=300,
+        )
+        assert not r.completed
+        assert r.extras["overrun"]
+        clean = run_scalar_multicast(16, a=0.005, seed=1)
+        assert clean.completed and not clean.extras["overrun"]
+
     def test_callable_channel_count(self):
         nodes = [Beacon(4), Listener()]
         net = ScalarNetwork(nodes)

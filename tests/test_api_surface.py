@@ -32,6 +32,10 @@ PUBLIC_MODULES = [
     "repro.core.reference",
     "repro.core.result",
     "repro.core.runner",
+    "repro.arena",
+    "repro.arena.network",
+    "repro.arena.columns",
+    "repro.arena.run",
     "repro.baselines",
     "repro.baselines.decay",
     "repro.baselines.naive",

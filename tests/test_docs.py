@@ -74,6 +74,39 @@ class TestCitations:
             assert anchor in _sections_of("DESIGN"), f"DESIGN.md lost section {anchor}"
 
 
+#: "bench_arena", "bench_engine", ... — any bench-module token in src/.  A
+#: trailing extension other than .py (e.g. "bench_output.txt") is not a
+#: module reference.
+BENCH_REF = re.compile(r"\bbench_[a-z0-9_]+\b(?!\.(?!py\b)\w)")
+
+
+class TestBenchReferences:
+    """Docstrings must not cite benchmarks that do not exist.
+
+    Regression: ``adversary/reactive.py`` shipped citing a
+    ``bench_adaptive_extension`` experiment that was never written; every
+    ``bench_<name>`` token in ``src/`` must now match a real module under
+    ``benchmarks/``.
+    """
+
+    def test_bench_references_resolve(self):
+        dangling = []
+        for path in (REPO / "src").rglob("*.py"):
+            text = path.read_text()
+            for token in set(BENCH_REF.findall(text)):
+                if not (REPO / "benchmarks" / f"{token}.py").is_file():
+                    dangling.append(f"{path.relative_to(REPO)}: {token}")
+        assert not dangling, "dead bench references:\n" + "\n".join(dangling)
+
+    def test_the_regression_is_covered(self):
+        # the fixed docstring must now point at the arena bench, and that
+        # bench must exist
+        text = (REPO / "src/repro/adversary/reactive.py").read_text()
+        assert "bench_adaptive_extension" not in text
+        assert "bench_arena" in text
+        assert (REPO / "benchmarks/bench_arena.py").is_file()
+
+
 def _extract_readme_snippet() -> str:
     text = (REPO / "README.md").read_text()
     match = re.search(r"```python\n(.*?)```", text, re.DOTALL)
