@@ -29,3 +29,17 @@ run channels_C16 channels
 # oblivious vs adaptive (EXPERIMENTS.md section 8); reactive cells run on
 # the arena runtime — single-process is fine, they are seconds per trial
 WORKERS=1 run arena arena
+# Thm 4.4 grid (EXPERIMENTS.md section 9)
+run core_scaling_T25000 core_scaling
+run core_scaling_T100000 core_scaling
+run core_scaling_T400000 core_scaling
+run core_scaling_T1600000 core_scaling
+# unjammed MultiCastAdv additive term (EXPERIMENTS.md section 10); a few
+# ten-million-slot trials — the longest cells of the whole record
+WORKERS=1 run adv_unjammed adv_unjammed
+
+# the record is only done when the published docs match it: regenerate the
+# EXPERIMENTS.md tables, CLAIMS.md and figures in memory and diff them
+# against the committed files (exit 1 = the docs drifted from the data)
+echo "== repro report --check"
+python -m repro report --check

@@ -6,10 +6,10 @@ predicting the paper's bounds, and rendering the paper-style ASCII tables —
 lives here so examples and tests can use it too.
 """
 
-from repro.analysis.fits import fit_loglog_slope, fit_linear
+from repro.analysis.fits import fit_loglog_slope, fit_linear, max_relative_residual
 from repro.analysis.stats import Summary, TrialBatch, run_trials, summarize
 from repro.analysis.sweeps import SweepPoint, SweepResult, sweep
-from repro.analysis.tables import render_table
+from repro.analysis.tables import render_markdown_table, render_table
 from repro.analysis import theory
 
 __all__ = [
@@ -19,6 +19,8 @@ __all__ = [
     "TrialBatch",
     "fit_linear",
     "fit_loglog_slope",
+    "max_relative_residual",
+    "render_markdown_table",
     "render_table",
     "run_trials",
     "summarize",

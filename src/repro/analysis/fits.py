@@ -19,7 +19,13 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["LinearFit", "PowerFit", "fit_linear", "fit_loglog_slope"]
+__all__ = [
+    "LinearFit",
+    "PowerFit",
+    "fit_linear",
+    "fit_loglog_slope",
+    "max_relative_residual",
+]
 
 
 @dataclass(frozen=True)
@@ -73,3 +79,19 @@ def fit_loglog_slope(x: Sequence[float], y: Sequence[float]) -> PowerFit:
     lx, ly = np.log(x), np.log(y)
     slope, intercept = np.polyfit(lx, ly, 1)
     return PowerFit(float(slope), float(np.exp(intercept)), _r2(ly, slope * lx + intercept))
+
+
+def max_relative_residual(expected: Sequence[float], measured: Sequence[float]) -> float:
+    """Worst pointwise ``|measured - expected| / expected`` of two curves.
+
+    The shape-comparison acceptance number: after
+    :func:`repro.analysis.theory.normalize_to` anchors a predicted curve to a
+    measurement, this says how far the worst point strays (0.4 = 40 % off).
+    """
+    expected = np.asarray(expected, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    if expected.shape != measured.shape or expected.size == 0:
+        raise ValueError("need two equal-length, non-empty curves")
+    if (expected <= 0).any():
+        raise ValueError("expected curve must be strictly positive")
+    return float(np.max(np.abs(measured - expected) / expected))

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Optional, Sequence
 
-__all__ = ["render_table"]
+__all__ = ["render_table", "render_markdown_table"]
 
 
 def _fmt(x: Any) -> str:
@@ -47,5 +47,30 @@ def render_table(
         out.append(title)
     out.append(line(headers))
     out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in srows)
+    return "\n".join(out)
+
+
+def render_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render a GitHub-style pipe table (right-aligned columns).
+
+    The report pipeline uses this where EXPERIMENTS.md wants native markdown
+    tables instead of fenced ASCII blocks; the cell formatting matches
+    :func:`render_table` so the two styles quote numbers identically.
+    """
+    srows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.rjust(w) for c, w in zip(cells, widths)) + " |"
+
+    # delimiter cells need >= one hyphen to parse as a pipe table, so a
+    # width-1 column widens to "-:" instead of a bare ":"
+    out = [line(headers), line(["-" * max(1, w - 1) + ":" for w in widths])]
     out.extend(line(r) for r in srows)
     return "\n".join(out)

@@ -23,6 +23,12 @@ Parallel Monte Carlo campaign (resumable; see EXPERIMENTS.md)::
 
     python -m repro sweep --trials 20 --workers 0 --store results.jsonl
 
+Regenerate (or verify) the committed record — EXPERIMENTS.md tables,
+CLAIMS.md, figures — from the stores::
+
+    python -m repro report           # rewrite whatever drifted
+    python -m repro report --check   # CI invariant: exit 1 on drift
+
 The CLI wraps the same public API the examples use; it exists so ad-hoc
 reproduction runs don't require writing a script.
 """
@@ -274,6 +280,17 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    # imported lazily: the report layer pulls in every analysis/ledger module,
+    # which run/gallery/sweep invocations never need
+    from repro.report import MarkerError, ReportError, report
+
+    try:
+        return report(root=args.root, check=args.check)
+    except (ReportError, MarkerError) as exc:
+        raise SystemExit(str(exc)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -347,6 +364,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--spec", default=None, help="load a CampaignSpec JSON file")
     p_sw.add_argument("--quiet", action="store_true", help="suppress per-trial progress")
     p_sw.set_defaults(fn=cmd_sweep)
+
+    p_rep = sub.add_parser(
+        "report",
+        help="regenerate EXPERIMENTS.md tables, CLAIMS.md and figures from the stores",
+    )
+    p_rep.add_argument(
+        "--check",
+        action="store_true",
+        help="verify instead of write: exit 1 if any generated file drifted",
+    )
+    p_rep.add_argument(
+        "--root", default=".", help="repository root holding EXPERIMENTS.md (default .)"
+    )
+    p_rep.set_defaults(fn=cmd_report)
 
     return parser
 

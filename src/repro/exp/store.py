@@ -23,7 +23,7 @@ from repro.analysis.stats import Summary
 from repro.core.result import BroadcastResult
 from repro.exp.spec import TrialSpec
 
-__all__ = ["TrialRecord", "ResultStore", "CellStats", "aggregate"]
+__all__ = ["TrialRecord", "ResultStore", "CellStats", "aggregate", "cells_where"]
 
 #: Scalar metrics copied off a BroadcastResult into each record, and offered
 #: for aggregation by name.  ``dissemination_slot`` is None on failed trials
@@ -180,6 +180,20 @@ class CellStats:
         if spend == 0:
             return float("inf")
         return self.summaries["max_cost"].mean / spend
+
+
+def cells_where(cells: List[CellStats], **filters) -> List[CellStats]:
+    """Cells whose attributes equal every given filter, original order kept.
+
+    The report layer slices one store many ways (one protocol's budget
+    series, one n's jammer rows); keyword equality on :class:`CellStats`
+    attributes covers all of them without each caller re-writing the loop.
+    """
+    out = []
+    for cell in cells:
+        if all(getattr(cell, field) == value for field, value in filters.items()):
+            out.append(cell)
+    return out
 
 
 def aggregate(records: List[TrialRecord]) -> List[CellStats]:

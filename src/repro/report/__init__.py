@@ -1,0 +1,63 @@
+"""Self-verifying experiment record: regenerate the published docs from data.
+
+The committed record has three layers that must agree: the JSONL trial
+stores under ``experiments/`` (the data), the tables and fit lines quoted in
+EXPERIMENTS.md (the presentation), and the theorem-claims ledger CLAIMS.md
+(the verdicts).  This package is the only path between them:
+
+1. :mod:`~repro.report.markers` — marker-guarded regions
+   (``<!-- repro:begin <name> -->`` ... ``<!-- repro:end <name> -->``) inside
+   EXPERIMENTS.md that only the renderer writes; prose around them stays
+   hand-written.
+2. :mod:`~repro.report.sections` — renders each region's tables and fit
+   lines straight from the stores, plus the dependency-free SVG scaling
+   figures under ``experiments/figures/``.
+3. :mod:`~repro.report.ledger` — the claims ledger: one row per
+   :data:`repro.analysis.theory.PREDICTORS` entry, fitted against its
+   campaign store with explicit tolerances and rendered as CLAIMS.md with a
+   SUPPORTED / PARTIAL / REFUTED / UNTESTED verdict each.
+4. :mod:`~repro.report.pipeline` — ties it together behind
+   ``python -m repro report``; ``--check`` exits non-zero when any guarded
+   region, CLAIMS.md, or figure differs from what the stores produce, which
+   makes "the docs match the data" a CI invariant.
+
+Everything is deterministic: same stores in, same bytes out (asserted by
+``tests/report/test_report_golden.py``).  See DESIGN.md section 8.
+"""
+
+from repro.report.ledger import (
+    PARTIAL,
+    REFUTED,
+    SUPPORTED,
+    UNTESTED,
+    ClaimResult,
+    ClaimRow,
+    Evidence,
+    claims_ledger,
+    evaluate_claims,
+    render_claims,
+)
+from repro.report.markers import MarkerError, find_regions, splice, splice_all
+from repro.report.pipeline import build_outputs, report
+from repro.report.util import RecordBundle, ReportError
+
+__all__ = [
+    "PARTIAL",
+    "REFUTED",
+    "SUPPORTED",
+    "UNTESTED",
+    "ClaimResult",
+    "ClaimRow",
+    "Evidence",
+    "MarkerError",
+    "RecordBundle",
+    "ReportError",
+    "build_outputs",
+    "claims_ledger",
+    "evaluate_claims",
+    "find_regions",
+    "render_claims",
+    "report",
+    "splice",
+    "splice_all",
+]

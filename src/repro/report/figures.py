@@ -1,0 +1,159 @@
+"""Dependency-free SVG scaling plots for the committed record.
+
+The figures under ``experiments/figures/`` are log-log scaling plots —
+measured series plus normalized theorem-shape curves — emitted as plain
+SVG strings so the record needs no plotting stack and the bytes are a pure
+function of the data (``repro report --check`` diffs them like any other
+output).  Coordinates are rounded to 0.01 px and every float label goes
+through one formatter, so regeneration is byte-stable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = ["Series", "svg_loglog"]
+
+#: Okabe–Ito-ish palette: colorblind-safe, dark enough for white background.
+_COLORS = ("#0072b2", "#d55e00", "#009e73", "#cc79a7", "#56b4e9", "#e69f00")
+
+_W, _H = 720, 440
+_ML, _MR, _MT, _MB = 74, 20, 42, 56  # margins: left, right, top, bottom
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted curve: positive (x, y) points plus a line style."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+    dashed: bool = False  #: dashed = a predicted / fitted shape, solid = measured
+    markers: bool = True
+
+
+def _fnum(v: float) -> str:
+    """Stable coordinate formatting (two decimals, no negative zero)."""
+    s = f"{v:.2f}"
+    return "0.00" if s == "-0.00" else s
+
+
+def _decade_label(exp: int) -> str:
+    return f"1e{exp}"
+
+
+def _esc(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _log_range(values: List[float]) -> Tuple[float, float]:
+    lo, hi = math.log10(min(values)), math.log10(max(values))
+    if hi - lo < 1e-9:  # degenerate: one decade around the single value
+        lo, hi = lo - 0.5, hi + 0.5
+    pad = 0.06 * (hi - lo)
+    return lo - pad, hi + pad
+
+
+def svg_loglog(
+    series: Sequence[Series], *, title: str, xlabel: str, ylabel: str
+) -> str:
+    """Render a log-log scatter/line chart as a standalone SVG string."""
+    if not series:
+        raise ValueError("need at least one series")
+    xs = [float(v) for s in series for v in s.x]
+    ys = [float(v) for s in series for v in s.y]
+    if not xs or any(v <= 0 for v in xs + ys):
+        raise ValueError("log-log figures need strictly positive data")
+    for s in series:
+        if len(s.x) != len(s.y) or not len(s.x):
+            raise ValueError(f"series {s.label!r}: x and y must be equal-length, non-empty")
+
+    x0, x1 = _log_range(xs)
+    y0, y1 = _log_range(ys)
+    pw, ph = _W - _ML - _MR, _H - _MT - _MB
+
+    def px(v: float) -> float:
+        return _ML + (math.log10(v) - x0) / (x1 - x0) * pw
+
+    def py(v: float) -> float:
+        return _MT + (y1 - math.log10(v)) / (y1 - y0) * ph
+
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" height="{_H}" '
+        f'viewBox="0 0 {_W} {_H}" font-family="Helvetica,Arial,sans-serif">',
+        f'<rect width="{_W}" height="{_H}" fill="#ffffff"/>',
+        f'<text x="{_ML}" y="24" font-size="15" fill="#111111">{_esc(title)}</text>',
+    ]
+
+    # decade gridlines + tick labels
+    for exp in range(math.ceil(x0), math.floor(x1) + 1):
+        gx = _fnum(_ML + (exp - x0) / (x1 - x0) * pw)
+        out.append(
+            f'<line x1="{gx}" y1="{_MT}" x2="{gx}" y2="{_H - _MB}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        out.append(
+            f'<text x="{gx}" y="{_H - _MB + 18}" font-size="11" fill="#444444" '
+            f'text-anchor="middle">{_decade_label(exp)}</text>'
+        )
+    for exp in range(math.ceil(y0), math.floor(y1) + 1):
+        gy = _fnum(_MT + (y1 - exp) / (y1 - y0) * ph)
+        out.append(
+            f'<line x1="{_ML}" y1="{gy}" x2="{_W - _MR}" y2="{gy}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        out.append(
+            f'<text x="{_ML - 8}" y="{gy}" font-size="11" fill="#444444" '
+            f'text-anchor="end" dominant-baseline="middle">{_decade_label(exp)}</text>'
+        )
+
+    # axes frame + labels
+    out.append(
+        f'<rect x="{_ML}" y="{_MT}" width="{pw}" height="{ph}" fill="none" '
+        f'stroke="#333333" stroke-width="1"/>'
+    )
+    out.append(
+        f'<text x="{_ML + pw / 2:.0f}" y="{_H - 14}" font-size="12" fill="#111111" '
+        f'text-anchor="middle">{_esc(xlabel)}</text>'
+    )
+    out.append(
+        f'<text x="18" y="{_MT + ph / 2:.0f}" font-size="12" fill="#111111" '
+        f'text-anchor="middle" transform="rotate(-90 18 {_MT + ph / 2:.0f})">'
+        f"{_esc(ylabel)}</text>"
+    )
+
+    # series
+    for i, s in enumerate(series):
+        color = _COLORS[i % len(_COLORS)]
+        points = " ".join(f"{_fnum(px(x))},{_fnum(py(y))}" for x, y in zip(s.x, s.y))
+        dash = ' stroke-dasharray="6 4"' if s.dashed else ""
+        out.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2"{dash}/>'
+        )
+        if s.markers:
+            for x, y in zip(s.x, s.y):
+                out.append(
+                    f'<circle cx="{_fnum(px(x))}" cy="{_fnum(py(y))}" r="3.5" '
+                    f'fill="{color}"/>'
+                )
+
+    # legend (top-right, one row per series)
+    lx = _W - _MR - 210
+    for i, s in enumerate(series):
+        color = _COLORS[i % len(_COLORS)]
+        ly = _MT + 14 + 18 * i
+        dash = ' stroke-dasharray="6 4"' if s.dashed else ""
+        out.append(
+            f'<line x1="{lx}" y1="{ly}" x2="{lx + 26}" y2="{ly}" '
+            f'stroke="{color}" stroke-width="2"{dash}/>'
+        )
+        out.append(
+            f'<text x="{lx + 32}" y="{ly}" font-size="11" fill="#111111" '
+            f'dominant-baseline="middle">{_esc(s.label)}</text>'
+        )
+
+    out.append("</svg>")
+    return "\n".join(out) + "\n"

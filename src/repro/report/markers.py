@@ -1,0 +1,107 @@
+"""Marker-guarded regions: the machine-owned slices of a hand-written doc.
+
+EXPERIMENTS.md mixes prose (hand-written, interprets the numbers) with
+tables and fit lines (machine-rendered from the stores).  The rendered
+slices live between HTML-comment markers::
+
+    <!-- repro:begin gallery -->
+    ...regenerated content, never edited by hand...
+    <!-- repro:end gallery -->
+
+so ``python -m repro report`` can rewrite exactly those regions and
+``--check`` can prove they match the data.  Malformed marker structure is a
+hard error, not a best-effort skip — a typo'd or nested marker would
+otherwise silently freeze a region at stale content forever.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Mapping, Tuple
+
+__all__ = ["MarkerError", "begin_marker", "end_marker", "find_regions", "splice", "splice_all"]
+
+#: ``<!-- repro:begin name -->`` / ``<!-- repro:end name -->``
+_MARKER = re.compile(r"<!--\s*repro:(begin|end)\s+([A-Za-z0-9_\-]+)\s*-->")
+
+
+class MarkerError(ValueError):
+    """Malformed or mismatched region markers in a guarded document."""
+
+
+def begin_marker(name: str) -> str:
+    return f"<!-- repro:begin {name} -->"
+
+
+def end_marker(name: str) -> str:
+    return f"<!-- repro:end {name} -->"
+
+
+def find_regions(text: str) -> Dict[str, Tuple[int, int]]:
+    """Map each region name to the (start, end) offsets of its inner content.
+
+    The inner content excludes the marker comments themselves.  Raises
+    :class:`MarkerError` on nested regions, duplicate names, an ``end`` with
+    no (or the wrong) open ``begin``, or a ``begin`` that is never closed.
+    """
+    regions: Dict[str, Tuple[int, int]] = {}
+    open_name = None
+    open_end = 0
+    for match in _MARKER.finditer(text):
+        kind, name = match.group(1), match.group(2)
+        if kind == "begin":
+            if open_name is not None:
+                raise MarkerError(
+                    f"nested marker: 'begin {name}' inside the open region {open_name!r}"
+                )
+            if name in regions:
+                raise MarkerError(f"duplicate region {name!r}")
+            open_name, open_end = name, match.end()
+        else:
+            if open_name is None:
+                raise MarkerError(f"'end {name}' without a matching begin marker")
+            if name != open_name:
+                raise MarkerError(
+                    f"'end {name}' closes the open region {open_name!r}"
+                )
+            regions[open_name] = (open_end, match.start())
+            open_name = None
+    if open_name is not None:
+        raise MarkerError(f"region {open_name!r} has no end marker")
+    return regions
+
+
+def splice(text: str, name: str, content: str) -> str:
+    """Replace one region's inner content (markers stay in place)."""
+    return splice_all(text, {name: content}, strict=False)
+
+
+def splice_all(text: str, sections: Mapping[str, str], *, strict: bool = True) -> str:
+    """Replace every region's content with its rendered section.
+
+    With ``strict`` (the default), the document's regions and the rendered
+    section names must match exactly: a document region with no renderer is
+    an *unknown marker* (it would freeze at stale content), a renderer with
+    no document region is a *missing marker* (its output would be dropped).
+    Both raise :class:`MarkerError`.
+    """
+    regions = find_regions(text)
+    if strict:
+        unknown = sorted(set(regions) - set(sections))
+        if unknown:
+            raise MarkerError(
+                f"unknown region(s) {unknown} in document — no renderer produces them "
+                f"(renderers: {sorted(sections)})"
+            )
+    missing = sorted(set(sections) - set(regions))
+    if missing:
+        raise MarkerError(
+            f"missing marker(s) for section(s) {missing} — the document has "
+            f"regions {sorted(regions)}"
+        )
+    # splice back-to-front so earlier offsets stay valid
+    out = text
+    for name in sorted(sections, key=lambda n: regions[n][0], reverse=True):
+        start, end = regions[name]
+        out = out[:start] + "\n" + sections[name].strip("\n") + "\n" + out[end:]
+    return out

@@ -1,0 +1,87 @@
+"""Build, write, and verify the generated record files.
+
+:func:`build_outputs` is a pure function of the committed stores: it returns
+the full generated content of every report-owned path (the spliced
+EXPERIMENTS.md, CLAIMS.md, the SVG figures).  :func:`report` applies it —
+write mode rewrites whatever drifted; ``check`` mode rewrites nothing and
+returns non-zero if anything *would* change, which is the CI invariant
+"the committed docs match the committed data".
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+from repro.report.ledger import evaluate_claims, render_claims
+from repro.report.markers import splice_all
+from repro.report.sections import render_figures, render_sections
+from repro.report.util import RecordBundle, ReportError
+
+__all__ = ["build_outputs", "report"]
+
+EXPERIMENTS = "EXPERIMENTS.md"
+CLAIMS = "CLAIMS.md"
+
+
+def build_outputs(root: str = ".") -> Dict[str, str]:
+    """Generated content for every report-owned path, repo-relative.
+
+    EXPERIMENTS.md is read from ``root`` (its prose is hand-written; only
+    the marker-guarded regions are regenerated), everything else is built
+    from scratch.
+    """
+    bundle = RecordBundle(root)
+    exp_path = os.path.join(bundle.root, EXPERIMENTS)
+    if not os.path.exists(exp_path):
+        raise ReportError(
+            f"no {EXPERIMENTS} under {root!r} — run from the repository root "
+            "(or pass --root)"
+        )
+    with open(exp_path) as fh:
+        experiments = fh.read()
+    outputs = {EXPERIMENTS: splice_all(experiments, render_sections(bundle))}
+    outputs[CLAIMS] = render_claims(evaluate_claims(bundle))
+    outputs.update(render_figures(bundle))
+    return outputs
+
+
+def report(root: str = ".", *, check: bool = False, log: Callable[[str], None] = print) -> int:
+    """Regenerate (or, with ``check``, verify) the generated record files.
+
+    Returns a process exit code: 0 when the committed files match the
+    stores (check) or after writing (write mode); 1 when ``check`` found
+    drift.  Unreadable stores raise
+    :class:`~repro.report.util.ReportError`; malformed markers raise
+    :class:`~repro.report.markers.MarkerError`.
+    """
+    outputs = build_outputs(root)
+    root = os.path.abspath(root)
+    stale = []
+    for rel, content in sorted(outputs.items()):
+        path = os.path.join(root, rel)
+        try:
+            with open(path) as fh:
+                current = fh.read()
+        except OSError:
+            current = None
+        if current != content:
+            stale.append(rel)
+    if check:
+        if stale:
+            log("report --check: generated record differs from the committed files:")
+            for rel in stale:
+                log(f"  stale: {rel}")
+            log("run `python -m repro report` and commit the result")
+            return 1
+        log(f"report --check: {len(outputs)} generated file(s) match the stores")
+        return 0
+    for rel in stale:
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write(outputs[rel])
+        log(f"wrote {rel}")
+    if not stale:
+        log("all generated files already match the stores")
+    return 0

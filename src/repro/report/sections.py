@@ -1,0 +1,476 @@
+"""Renderers for the marker-guarded regions of EXPERIMENTS.md + the figures.
+
+Each function takes the :class:`~repro.report.util.RecordBundle` and returns
+the inner markdown of one region — tables, fit lines, figure links — exactly
+as the committed stores dictate.  The surrounding prose (paper claims,
+verdict narratives) stays hand-written in EXPERIMENTS.md; only what is a
+pure function of the data lives here.
+
+:data:`SECTIONS` is the region registry (names must match the markers in
+EXPERIMENTS.md one-to-one; :func:`repro.report.markers.splice_all` enforces
+the bijection), :data:`FIGURES` maps committed figure paths to builders.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.analysis import fit_loglog_slope, render_markdown_table, render_table
+from repro.analysis.theory import (
+    adv_cost,
+    adv_time,
+    limited_time,
+    multicast_core_time,
+    multicast_cost,
+    multicast_time,
+    normalize_to,
+)
+from repro.exp.store import CellStats, cells_where
+from repro.report.figures import Series, svg_loglog
+from repro.report.util import (
+    ADV_ALPHA as _ADV_ALPHA,
+    FIXED_T as _T,
+    RecordBundle,
+    ReportError,
+    fmt_pm,
+)
+
+__all__ = ["SECTIONS", "FIGURES", "render_sections", "render_figures"]
+
+
+def _fence(table: str) -> str:
+    return f"```\n{table}\n```"
+
+
+def _figure(name: str, alt: str) -> str:
+    return f"![{alt}](experiments/figures/{name}.svg)"
+
+
+def _ratio(cell: CellStats) -> str:
+    r = cell.competitiveness
+    return "inf" if r == float("inf") else f"{r:.4f}"
+
+
+# -- section 2: the jammer gallery -------------------------------------------------
+
+
+def sec_gallery(bundle: RecordBundle) -> str:
+    rows = [
+        [
+            c.protocol,
+            c.jammer,
+            f"{c.success_rate:.0%}",
+            fmt_pm(c.summary("slots")),
+            fmt_pm(c.summary("max_cost")),
+            f"{c.summary('adversary_spend').mean:.3g}",
+            _ratio(c),
+        ]
+        for c in bundle.cells("gallery")
+    ]
+    return _fence(
+        render_table(
+            ["protocol", "jammer", "ok", "slots", "max cost", "Eve spend", "cost/T"],
+            rows,
+        )
+    )
+
+
+# -- section 3: channel scarcity ---------------------------------------------------
+
+
+def _channels_cells(bundle: RecordBundle) -> List[CellStats]:
+    return sorted(bundle.cells("channels"), key=lambda c: c.channels)
+
+
+def sec_channels(bundle: RecordBundle) -> str:
+    cells = _channels_cells(bundle)
+    rows = [
+        [
+            c.channels,
+            f"{c.success_rate:.0%}",
+            fmt_pm(c.summary("slots")),
+            fmt_pm(c.summary("max_cost")),
+        ]
+        for c in cells
+    ]
+    fit = fit_loglog_slope(
+        [c.channels for c in cells], [c.summary("slots").mean for c in cells]
+    )
+    return "\n\n".join(
+        [
+            _fence(render_table(["C", "ok", "slots", "max cost"], rows)),
+            f"Fit: `slots ~ C^{fit.exponent:.2f}` (r² = {fit.r2:.3f}); "
+            "Cor. 7.1 predicts exponent −1.",
+            _figure("channels", "completion time vs channel count, log-log"),
+        ]
+    )
+
+
+# -- section 4: network-size scaling ----------------------------------------------
+
+
+def _scaling_cells(bundle: RecordBundle) -> List[CellStats]:
+    return sorted(bundle.cells("scaling_n"), key=lambda c: c.n)
+
+
+def sec_scaling_n(bundle: RecordBundle) -> str:
+    cells = _scaling_cells(bundle)
+    ns = np.array([c.n for c in cells], dtype=float)
+    measured = np.array([c.summary("slots").mean for c in cells])
+    predicted = normalize_to(multicast_time(_T, ns.astype(int)), measured)
+    rows = [
+        [
+            c.n,
+            f"{c.success_rate:.0%}",
+            fmt_pm(c.summary("dissemination_slot")),
+            fmt_pm(c.summary("slots")),
+            f"{p:.3g}",
+            fmt_pm(c.summary("max_cost")),
+        ]
+        for c, p in zip(cells, predicted)
+    ]
+    return "\n\n".join(
+        [
+            _fence(
+                render_table(
+                    ["n", "ok", "all informed by", "completed at", "Thm 5.4a shape", "max cost"],
+                    rows,
+                )
+            ),
+            _figure("scaling_n", "dissemination and completion time vs n, log-log"),
+        ]
+    )
+
+
+# -- section 5: budget scaling -----------------------------------------------------
+
+
+def _budget_series(bundle: RecordBundle, protocol: str) -> List[CellStats]:
+    series = cells_where(bundle.cells("budget"), protocol=protocol)
+    return sorted(series, key=lambda c: c.budget)
+
+
+def sec_budget(bundle: RecordBundle) -> str:
+    rows, lines = [], []
+    for protocol in ("core", "multicast"):
+        series = _budget_series(bundle, protocol)
+        for c in series:
+            rows.append(
+                [
+                    protocol,
+                    f"{c.budget:,}",
+                    f"{c.success_rate:.0%}",
+                    fmt_pm(c.summary("slots")),
+                    fmt_pm(c.summary("max_cost")),
+                ]
+            )
+        fit = fit_loglog_slope(
+            [c.budget for c in series], [c.summary("max_cost").mean for c in series]
+        )
+        lines.append(
+            f"`max_cost ~ T^{fit.exponent:.2f}` for {protocol} (r² = {fit.r2:.3f})"
+        )
+    return "\n\n".join(
+        [
+            _fence(render_table(["protocol", "T", "ok", "slots", "max cost"], rows)),
+            "Fits: " + "; ".join(lines) + ".",
+            _figure("budget", "busiest-node cost vs adversary budget, log-log"),
+        ]
+    )
+
+
+# -- section 7: engine throughput (from the committed benchmark baseline) ----------
+
+
+def sec_engine(bundle: RecordBundle) -> str:
+    bench = bundle.bench("engine")
+    try:
+        results = bench["results"]["test_run_trials_batched_vs_scalar"]
+        rows = [
+            [
+                jammer,
+                f"{results[jammer]['scalar_s']:.2f}",
+                f"{results[jammer]['batched_s']:.2f}",
+                f"{results[jammer]['trials_per_s_scalar']:.2f}",
+                f"{results[jammer]['trials_per_s_batched']:.2f}",
+                f"{results[jammer]['speedup']:.2f}x",
+            ]
+            for jammer in ("none", "blanket")
+        ]
+    except KeyError as exc:
+        raise ReportError(f"BENCH_engine.json is missing the expected key {exc}") from None
+    return render_markdown_table(
+        ["jammer", "scalar (s)", "batched (s)", "trials/s scalar", "trials/s batched", "speedup"],
+        rows,
+    )
+
+
+# -- section 8: oblivious vs adaptive ---------------------------------------------
+
+#: Ladder order + the sensing-latency column of the arena matchup table.
+_ARENA_LADDER = (
+    ("none", "—"),
+    ("random", "(oblivious)"),
+    ("trailing", "1"),
+    ("reactive:2", "2"),
+    ("sniper", "0 (in-slot)"),
+)
+
+
+def sec_arena(bundle: RecordBundle) -> str:
+    cells = {c.jammer: c for c in bundle.cells("arena")}
+    rows = []
+    for jammer, latency in _ARENA_LADDER:
+        if jammer not in cells:
+            raise ReportError(f"arena store has no {jammer!r} cell")
+        c = cells[jammer]
+        rows.append(
+            [
+                f"`{jammer}`",
+                latency,
+                f"{c.success_rate:.0%}",
+                fmt_pm(c.summary("slots")),
+                f"{c.summary('adversary_spend').mean:.3g}",
+                _ratio(c),
+            ]
+        )
+    table = render_markdown_table(
+        ["jammer", "sensing latency", "ok", "slots", "Eve spend", "cost/T"], rows
+    )
+    bench = bundle.bench("arena")
+    try:
+        runtime = bench["results"]["test_arena_vs_scalar_runtime"]
+        speedups = ", ".join(
+            f"{label} {runtime[key]['speedup']:.1f}x"
+            for label, key in (("unjammed", "none"), ("sniper", "sniper"), ("trailing", "trailing"))
+        )
+    except KeyError as exc:
+        raise ReportError(f"BENCH_arena.json is missing the expected key {exc}") from None
+    return "\n\n".join(
+        [
+            table,
+            "Arena runtime vs. the scalar reference loop, bit-identical results "
+            f"(committed `benchmarks/BENCH_arena.json`): {speedups}.",
+        ]
+    )
+
+
+# -- section 9: MultiCastCore across T and n (Theorem 4.4) ------------------------
+
+
+def _core_series(bundle: RecordBundle, n: int) -> List[CellStats]:
+    series = cells_where(bundle.cells("core_scaling"), n=n)
+    return sorted(series, key=lambda c: c.budget)
+
+
+def sec_core_scaling(bundle: RecordBundle) -> str:
+    cells = sorted(bundle.cells("core_scaling"), key=lambda c: (c.n, c.budget))
+    rows = [
+        [
+            c.n,
+            f"{c.budget:,}",
+            f"{c.success_rate:.0%}",
+            fmt_pm(c.summary("slots")),
+            fmt_pm(c.summary("max_cost")),
+        ]
+        for c in cells
+    ]
+    lines = []
+    for n in sorted({c.n for c in cells}):
+        series = _core_series(bundle, n)
+        budgets = [c.budget for c in series]
+        tfit = fit_loglog_slope(budgets, [c.summary("slots").mean for c in series])
+        cfit = fit_loglog_slope(budgets, [c.summary("max_cost").mean for c in series])
+        lines.append(
+            f"`slots ~ T^{tfit.exponent:.2f}`, `max_cost ~ T^{cfit.exponent:.2f}` "
+            f"at n = {n}"
+        )
+    return "\n\n".join(
+        [
+            _fence(render_table(["n", "T", "ok", "slots", "max cost"], rows)),
+            "Fits: " + "; ".join(lines) + " — Thm 4.4's envelope allows up to `T^1`.",
+            _figure("core_scaling", "MultiCastCore time and cost vs adversary budget, log-log"),
+        ]
+    )
+
+
+# -- section 10: the unknown-n additive term (Theorems 6.10b/c) -------------------
+
+
+def _adv_cells(bundle: RecordBundle) -> List[CellStats]:
+    return sorted(bundle.cells("adv_unjammed"), key=lambda c: c.n)
+
+
+def sec_adv_unjammed(bundle: RecordBundle) -> str:
+    cells = _adv_cells(bundle)
+    ns = np.array([c.n for c in cells], dtype=float)
+    slots = np.array([c.summary("slots").mean for c in cells])
+    costs = np.array([c.summary("max_cost").mean for c in cells])
+    pred_t = normalize_to(adv_time(0, ns, _ADV_ALPHA), slots)
+    pred_c = normalize_to(adv_cost(0, ns, _ADV_ALPHA), costs)
+    rows = [
+        [
+            c.n,
+            f"{c.success_rate:.0%}",
+            fmt_pm(c.summary("slots")),
+            f"{pt:.3g}",
+            fmt_pm(c.summary("max_cost")),
+            f"{pc:.3g}",
+        ]
+        for c, pt, pc in zip(cells, pred_t, pred_c)
+    ]
+    return "\n\n".join(
+        [
+            _fence(
+                render_table(
+                    ["n", "ok", "slots", "6.10b shape", "max cost", "6.10c shape"],
+                    rows,
+                )
+            ),
+            _figure("adv_unjammed", "MultiCastAdv unjammed time and cost vs n, log-log"),
+        ]
+    )
+
+
+#: Region name -> renderer; must match the markers in EXPERIMENTS.md exactly.
+SECTIONS: Dict[str, Callable[[RecordBundle], str]] = {
+    "gallery": sec_gallery,
+    "channels": sec_channels,
+    "scaling_n": sec_scaling_n,
+    "budget": sec_budget,
+    "engine": sec_engine,
+    "arena": sec_arena,
+    "core_scaling": sec_core_scaling,
+    "adv_unjammed": sec_adv_unjammed,
+}
+
+
+def render_sections(bundle: RecordBundle) -> Dict[str, str]:
+    """All region contents, keyed by region name."""
+    return {name: fn(bundle) for name, fn in SECTIONS.items()}
+
+
+# -- figures ----------------------------------------------------------------------
+
+
+def fig_channels(bundle: RecordBundle) -> str:
+    cells = _channels_cells(bundle)
+    C = [c.channels for c in cells]
+    slots = [c.summary("slots").mean for c in cells]
+    shape = normalize_to(limited_time(_T, 64, np.array(C, dtype=float)), np.array(slots))
+    return svg_loglog(
+        [
+            Series("measured completion", C, slots),
+            Series("Cor 7.1 shape (normalized)", C, list(shape), dashed=True, markers=False),
+        ],
+        title="MultiCast(C) vs blackout: completion time vs channels (n=64, T=1e5)",
+        xlabel="channels C",
+        ylabel="slots to completion",
+    )
+
+
+def fig_scaling_n(bundle: RecordBundle) -> str:
+    cells = _scaling_cells(bundle)
+    ns = [c.n for c in cells]
+    completed = [c.summary("slots").mean for c in cells]
+    informed = [c.summary("dissemination_slot").mean for c in cells]
+    shape = normalize_to(
+        multicast_time(_T, np.array(ns)), np.array(completed)
+    )
+    return svg_loglog(
+        [
+            Series("completed at", ns, completed),
+            Series("all informed by", ns, informed),
+            Series("Thm 5.4a shape (normalized)", ns, list(shape), dashed=True, markers=False),
+        ],
+        title="MultiCast vs blanket: time vs network size (T=1e5, a=0.1)",
+        xlabel="nodes n",
+        ylabel="slots",
+    )
+
+
+def fig_budget(bundle: RecordBundle) -> str:
+    series = []
+    for protocol, predictor, label in (
+        ("multicast", multicast_cost, "Thm 5.4b shape (normalized)"),
+        ("core", multicast_core_time, "Thm 4.4 shape (normalized)"),
+    ):
+        cells = _budget_series(bundle, protocol)
+        T = [c.budget for c in cells]
+        cost = [c.summary("max_cost").mean for c in cells]
+        shape = normalize_to(predictor(np.array(T, dtype=float), 64), np.array(cost))
+        series.append(Series(f"{protocol} max cost", T, cost))
+        series.append(Series(label, T, list(shape), dashed=True, markers=False))
+    return svg_loglog(
+        series,
+        title="Busiest-node cost vs Eve's budget (n=64, blanket)",
+        xlabel="adversary budget T",
+        ylabel="max node cost",
+    )
+
+
+def fig_core_scaling(bundle: RecordBundle) -> str:
+    series = []
+    for n in (16, 64):
+        cells = _core_series(bundle, n)
+        T = [c.budget for c in cells]
+        series.append(Series(f"slots, n={n}", T, [c.summary("slots").mean for c in cells]))
+    cells = _core_series(bundle, 64)
+    T = [c.budget for c in cells]
+    cost = [c.summary("max_cost").mean for c in cells]
+    shape = normalize_to(multicast_core_time(np.array(T, dtype=float), 64), np.array(cost))
+    series.append(Series("max cost, n=64", T, cost))
+    series.append(Series("Thm 4.4 shape (normalized)", T, list(shape), dashed=True, markers=False))
+    return svg_loglog(
+        series,
+        title="MultiCastCore vs blanket: time and cost vs Eve's budget",
+        xlabel="adversary budget T",
+        ylabel="slots / max node cost",
+    )
+
+
+def fig_adv_unjammed(bundle: RecordBundle) -> str:
+    cells = _adv_cells(bundle)
+    ns = np.array([c.n for c in cells], dtype=float)
+    slots = [c.summary("slots").mean for c in cells]
+    costs = [c.summary("max_cost").mean for c in cells]
+    return svg_loglog(
+        [
+            Series("slots (unjammed)", list(ns), slots),
+            Series(
+                "6.10b additive shape (normalized)",
+                list(ns),
+                list(normalize_to(adv_time(0, ns, _ADV_ALPHA), np.array(slots))),
+                dashed=True,
+                markers=False,
+            ),
+            Series("max cost (unjammed)", list(ns), costs),
+            Series(
+                "6.10c additive shape (normalized)",
+                list(ns),
+                list(normalize_to(adv_cost(0, ns, _ADV_ALPHA), np.array(costs))),
+                dashed=True,
+                markers=False,
+            ),
+        ],
+        title="MultiCastAdv, no jamming: the additive n-term (alpha=0.24)",
+        xlabel="nodes n",
+        ylabel="slots / max node cost",
+    )
+
+
+#: Committed figure path (relative to the repo root) -> builder.
+FIGURES: Dict[str, Callable[[RecordBundle], str]] = {
+    "experiments/figures/channels.svg": fig_channels,
+    "experiments/figures/scaling_n.svg": fig_scaling_n,
+    "experiments/figures/budget.svg": fig_budget,
+    "experiments/figures/core_scaling.svg": fig_core_scaling,
+    "experiments/figures/adv_unjammed.svg": fig_adv_unjammed,
+}
+
+
+def render_figures(bundle: RecordBundle) -> Dict[str, str]:
+    """All committed figures, keyed by repo-relative path."""
+    return {path: fn(bundle) for path, fn in FIGURES.items()}

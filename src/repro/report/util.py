@@ -1,0 +1,84 @@
+"""Shared plumbing for the report pipeline: record access and formatting.
+
+:class:`RecordBundle` is the single read path from the committed record —
+JSONL campaign stores under ``experiments/`` and the ``BENCH_*.json``
+baselines under ``benchmarks/`` — with caching, so a report run reads each
+file once no matter how many sections and ledger rows consume it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.analysis.stats import Summary
+from repro.exp.registry import ADV_KNOBS
+from repro.exp.store import CellStats, ResultStore, TrialRecord, aggregate
+
+__all__ = ["ADV_ALPHA", "FIXED_T", "ReportError", "RecordBundle", "fmt_pm", "fmt_g"]
+
+#: alpha of the committed MultiCastAdv profile — taken from the registry so a
+#: retuned profile cannot silently diverge from the ledger's predicted curves.
+ADV_ALPHA = float(ADV_KNOBS["alpha"])
+
+#: Eve's budget in the fixed-T campaigns (gallery/scaling_n/channels specs).
+FIXED_T = 100_000
+
+
+class ReportError(RuntimeError):
+    """The record is unreadable or inconsistent with the report config."""
+
+
+class RecordBundle:
+    """Cached access to the committed stores and benchmark baselines."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self._cells: Dict[str, List[CellStats]] = {}
+        self._records: Dict[str, List[TrialRecord]] = {}
+        self._bench: Dict[str, dict] = {}
+
+    def _store_path(self, name: str) -> str:
+        return os.path.join(self.root, "experiments", f"{name}.jsonl")
+
+    def records(self, name: str) -> List[TrialRecord]:
+        """All trial records of one campaign store, sorted by key."""
+        if name not in self._records:
+            path = self._store_path(name)
+            if not os.path.exists(path):
+                raise ReportError(
+                    f"missing store {os.path.relpath(path, self.root)} — "
+                    "run experiments/run_all.sh first"
+                )
+            self._records[name] = ResultStore(path).records()
+        return self._records[name]
+
+    def cells(self, name: str) -> List[CellStats]:
+        """Per-cell aggregates of one campaign store (deterministic order)."""
+        if name not in self._cells:
+            self._cells[name] = aggregate(self.records(name))
+        return self._cells[name]
+
+    def bench(self, name: str) -> dict:
+        """The committed ``benchmarks/BENCH_<name>.json`` baseline."""
+        if name not in self._bench:
+            path = os.path.join(self.root, "benchmarks", f"BENCH_{name}.json")
+            if not os.path.exists(path):
+                raise ReportError(
+                    f"missing benchmark baseline benchmarks/BENCH_{name}.json — "
+                    f"regenerate with REPRO_BENCH_JSON=benchmarks PYTHONPATH=src "
+                    f"pytest benchmarks/bench_{name}.py"
+                )
+            with open(path) as fh:
+                self._bench[name] = json.load(fh)
+        return self._bench[name]
+
+
+def fmt_pm(s: Summary, digits: int = 3) -> str:
+    """``mean ±ci95`` in the record's house style."""
+    return f"{s.mean:.{digits}g} ±{s.ci95:.2g}"
+
+
+def fmt_g(x: float, digits: int = 3) -> str:
+    return f"{x:.{digits}g}"

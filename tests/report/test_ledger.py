@@ -1,0 +1,231 @@
+"""Claims-ledger unit tests: verdict thresholds and coverage enforcement.
+
+Evidence is graded against synthetic cells (no file IO) so each acceptance
+rule — exponent match, envelope, shape residual — can be pinned at its
+strict/loose boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import Summary
+from repro.analysis.theory import PREDICTORS
+from repro.exp.store import CellStats
+from repro.report import (
+    PARTIAL,
+    REFUTED,
+    SUPPORTED,
+    UNTESTED,
+    ClaimRow,
+    Evidence,
+    ReportError,
+    claims_ledger,
+    evaluate_claims,
+)
+from repro.report.ledger import evaluate_evidence
+
+
+def make_cells(x_attr, xs, ys, metric="slots"):
+    cells = []
+    for x, y in zip(xs, ys):
+        fields = dict(protocol="p", jammer="j", n=16, budget=1000, channels=None)
+        fields[x_attr] = x
+        cells.append(
+            CellStats(
+                protocol=fields["protocol"],
+                jammer=fields["jammer"],
+                n=fields["n"],
+                budget=fields["budget"],
+                trials=1,
+                success_rate=1.0,
+                violations=0,
+                channels=fields["channels"],
+                summaries={metric: Summary.of([y])},
+            )
+        )
+    return cells
+
+
+class StubBundle:
+    """Duck-typed RecordBundle serving one prebuilt cell list."""
+
+    def __init__(self, cells):
+        self._cells = cells
+
+    def cells(self, name):
+        return self._cells
+
+
+def ev(**overrides):
+    base = dict(
+        label="synthetic",
+        store="synthetic",
+        metric="slots",
+        x="n",
+        kind="exponent",
+        curve=lambda x: x,
+        tol=0.1,
+        tol_loose=0.5,
+    )
+    base.update(overrides)
+    return Evidence(**base)
+
+
+XS = [8.0, 16.0, 32.0, 64.0]
+
+
+class TestExponentRule:
+    def test_exact_match_is_supported(self):
+        bundle = StubBundle(make_cells("n", XS, [x**2 for x in XS]))
+        result = evaluate_evidence(bundle, ev(curve=lambda x: x**2))
+        assert result.verdict == SUPPORTED
+        assert result.measured == pytest.approx(2.0)
+
+    def test_loose_match_is_partial(self):
+        bundle = StubBundle(make_cells("n", XS, [x**2 for x in XS]))
+        result = evaluate_evidence(bundle, ev(curve=lambda x: x**1.7))
+        assert result.verdict == PARTIAL
+
+    def test_gross_mismatch_is_refuted(self):
+        bundle = StubBundle(make_cells("n", XS, [x**2 for x in XS]))
+        result = evaluate_evidence(bundle, ev(curve=lambda x: x**0.5))
+        assert result.verdict == REFUTED
+
+    def test_explicit_expect_instead_of_curve(self):
+        bundle = StubBundle(make_cells("n", XS, [7.0, 7.0, 7.0, 7.0]))
+        result = evaluate_evidence(bundle, ev(curve=None, expect=0.0))
+        assert result.verdict == SUPPORTED
+
+    def test_r2_gate_demotes_to_partial(self):
+        # slope lands inside the strict tolerance, but the data wiggles too
+        # much around the fit line to call it SUPPORTED (fit r² ~ 0.12)
+        ys = [x**0.3 * f for x, f in zip(XS, (1.35, 0.74, 1.35, 0.74))]
+        bundle = StubBundle(make_cells("n", XS, ys))
+        result = evaluate_evidence(
+            bundle, ev(curve=None, expect=0.13, tol=0.1, r2_min=0.9)
+        )
+        assert result.verdict == PARTIAL
+
+    def test_neither_curve_nor_expect_errors(self):
+        bundle = StubBundle(make_cells("n", XS, [x for x in XS]))
+        with pytest.raises(ReportError, match="neither curve nor expect"):
+            evaluate_evidence(bundle, ev(curve=None, expect=None))
+
+
+class TestEnvelopeRule:
+    def test_below_the_envelope_is_supported(self):
+        bundle = StubBundle(make_cells("n", XS, [x**0.4 for x in XS]))
+        result = evaluate_evidence(bundle, ev(kind="envelope", curve=lambda x: x))
+        assert result.verdict == SUPPORTED
+
+    def test_slight_excess_is_partial(self):
+        bundle = StubBundle(make_cells("n", XS, [x**1.3 for x in XS]))
+        result = evaluate_evidence(bundle, ev(kind="envelope", curve=lambda x: x))
+        assert result.verdict == PARTIAL
+
+    def test_gross_excess_is_refuted(self):
+        bundle = StubBundle(make_cells("n", XS, [x**2.5 for x in XS]))
+        result = evaluate_evidence(bundle, ev(kind="envelope", curve=lambda x: x))
+        assert result.verdict == REFUTED
+
+
+class TestShapeRule:
+    def test_matching_shape_is_supported(self):
+        bundle = StubBundle(make_cells("n", XS, [3.0 * x**1.5 for x in XS]))
+        result = evaluate_evidence(
+            bundle, ev(kind="shape", curve=lambda x: x**1.5, tol=0.05, tol_loose=0.5)
+        )
+        assert result.verdict == SUPPORTED
+        assert result.measured == pytest.approx(0.0, abs=1e-12)
+
+    def test_residual_between_tolerances_is_partial(self):
+        ys = [3.0 * x**1.5 for x in XS]
+        ys[0] *= 1.3  # 30 % off at the first point, anchored at the last
+        bundle = StubBundle(make_cells("n", XS, ys))
+        result = evaluate_evidence(
+            bundle, ev(kind="shape", curve=lambda x: x**1.5, tol=0.05, tol_loose=0.5)
+        )
+        assert result.verdict == PARTIAL
+
+    def test_gross_residual_is_refuted(self):
+        ys = [3.0 * x**1.5 for x in XS]
+        ys[0] *= 10.0
+        bundle = StubBundle(make_cells("n", XS, ys))
+        result = evaluate_evidence(
+            bundle, ev(kind="shape", curve=lambda x: x**1.5, tol=0.05, tol_loose=0.5)
+        )
+        assert result.verdict == REFUTED
+
+
+class TestEvidenceValidation:
+    def test_fewer_than_two_cells_errors(self):
+        bundle = StubBundle(make_cells("n", [8.0], [1.0]))
+        with pytest.raises(ReportError, match="need at least 2"):
+            evaluate_evidence(bundle, ev())
+
+    def test_select_filters_cells(self):
+        cells = make_cells("n", XS, [x**2 for x in XS]) + make_cells(
+            "n", XS, [x**0.1 for x in XS]
+        )
+        for c in cells[len(XS):]:
+            c.protocol = "other"
+        bundle = StubBundle(cells)
+        result = evaluate_evidence(
+            bundle, ev(curve=lambda x: x**2, select=(("protocol", "p"),))
+        )
+        assert result.verdict == SUPPORTED
+
+    def test_unknown_kind_errors(self):
+        bundle = StubBundle(make_cells("n", XS, [x for x in XS]))
+        with pytest.raises(ReportError, match="unknown kind"):
+            evaluate_evidence(bundle, ev(kind="vibes"))
+
+    def test_nonpositive_metric_errors(self):
+        bundle = StubBundle(make_cells("n", XS, [0.0, 1.0, 2.0, 3.0]))
+        with pytest.raises(ReportError, match="non-positive"):
+            evaluate_evidence(bundle, ev())
+
+
+class TestLedgerStructure:
+    def test_ledger_covers_exactly_the_predictor_registry(self):
+        assert [row.predictor for row in claims_ledger()] == list(PREDICTORS)
+
+    def test_untested_rows_declare_a_reason(self):
+        for row in claims_ledger():
+            if not row.evidence:
+                assert row.untested_reason, f"{row.predictor} is silently untested"
+
+    def test_partial_reason_caps_the_verdict(self, monkeypatch):
+        import repro.report.ledger as ledger_mod
+
+        rows = tuple(
+            ClaimRow(
+                predictor=name,
+                statement="synthetic",
+                evidence=(ev(curve=lambda x: x**2, store="s"),),
+                partial_reason="only half the claim" if name == "multicast_time" else "",
+            )
+            for name in PREDICTORS
+        )
+        monkeypatch.setattr(ledger_mod, "claims_ledger", lambda: rows)
+        bundle = StubBundle(make_cells("n", XS, [x**2 for x in XS]))
+        results = {r.row.predictor: r for r in ledger_mod.evaluate_claims(bundle)}
+        assert results["multicast_time"].verdict == PARTIAL
+        assert results["multicast_cost"].verdict == SUPPORTED
+
+    def test_undeclared_untested_row_errors(self, monkeypatch):
+        import repro.report.ledger as ledger_mod
+
+        rows = tuple(
+            ClaimRow(predictor=name, statement="synthetic") for name in PREDICTORS
+        )
+        monkeypatch.setattr(ledger_mod, "claims_ledger", lambda: rows)
+        with pytest.raises(ReportError, match="untested claims must be declared"):
+            ledger_mod.evaluate_claims(StubBundle([]))
+
+    def test_row_order_mismatch_errors(self, monkeypatch):
+        import repro.report.ledger as ledger_mod
+
+        monkeypatch.setattr(ledger_mod, "claims_ledger", lambda: ())
+        with pytest.raises(ReportError, match="do not match theory.PREDICTORS"):
+            ledger_mod.evaluate_claims(StubBundle([]))

@@ -1,0 +1,100 @@
+"""Marker-splicing unit tests: malformed structure must fail loudly.
+
+A silent skip on a bad marker would freeze a region at stale content while
+``report --check`` keeps passing — every malformed shape is a MarkerError.
+"""
+
+import pytest
+
+from repro.report import MarkerError, find_regions, splice, splice_all
+
+DOC = """# title
+
+prose before
+
+<!-- repro:begin alpha -->
+old alpha
+<!-- repro:end alpha -->
+
+between
+
+<!-- repro:begin beta -->
+old beta
+<!-- repro:end beta -->
+
+prose after
+"""
+
+
+class TestFindRegions:
+    def test_finds_all_regions(self):
+        regions = find_regions(DOC)
+        assert set(regions) == {"alpha", "beta"}
+        start, end = regions["alpha"]
+        assert DOC[start:end].strip() == "old alpha"
+
+    def test_no_regions_is_fine(self):
+        assert find_regions("just prose") == {}
+
+    def test_nested_begin_errors(self):
+        doc = "<!-- repro:begin a -->\n<!-- repro:begin b -->\n<!-- repro:end b -->"
+        with pytest.raises(MarkerError, match="nested"):
+            find_regions(doc)
+
+    def test_end_without_begin_errors(self):
+        with pytest.raises(MarkerError, match="without a matching begin"):
+            find_regions("<!-- repro:end a -->")
+
+    def test_mismatched_end_errors(self):
+        doc = "<!-- repro:begin a -->\n<!-- repro:end b -->"
+        with pytest.raises(MarkerError, match="closes the open region"):
+            find_regions(doc)
+
+    def test_unclosed_begin_errors(self):
+        with pytest.raises(MarkerError, match="no end marker"):
+            find_regions("<!-- repro:begin a -->\ncontent")
+
+    def test_duplicate_region_errors(self):
+        doc = (
+            "<!-- repro:begin a -->\nx\n<!-- repro:end a -->\n"
+            "<!-- repro:begin a -->\ny\n<!-- repro:end a -->"
+        )
+        with pytest.raises(MarkerError, match="duplicate"):
+            find_regions(doc)
+
+
+class TestSplice:
+    def test_replaces_only_the_named_region(self):
+        out = splice(DOC, "alpha", "NEW ALPHA")
+        assert "NEW ALPHA" in out
+        assert "old alpha" not in out
+        assert "old beta" in out
+        assert "prose before" in out and "prose after" in out
+
+    def test_splice_is_idempotent(self):
+        once = splice(DOC, "alpha", "NEW")
+        assert splice(once, "alpha", "NEW") == once
+
+    def test_markers_survive_splicing(self):
+        out = splice(DOC, "alpha", "NEW")
+        assert set(find_regions(out)) == {"alpha", "beta"}
+
+    def test_unknown_name_errors(self):
+        with pytest.raises(MarkerError, match="missing marker"):
+            splice(DOC, "gamma", "content")
+
+
+class TestSpliceAll:
+    def test_full_replacement(self):
+        out = splice_all(DOC, {"alpha": "A2", "beta": "B2"})
+        assert "A2" in out and "B2" in out
+        assert "old alpha" not in out and "old beta" not in out
+
+    def test_document_region_without_renderer_errors(self):
+        # strict mode: an unknown marker in the doc would freeze stale content
+        with pytest.raises(MarkerError, match="unknown region"):
+            splice_all(DOC, {"alpha": "A2"})
+
+    def test_renderer_without_document_region_errors(self):
+        with pytest.raises(MarkerError, match="missing marker"):
+            splice_all(DOC, {"alpha": "A2", "beta": "B2", "gamma": "G"})

@@ -1,0 +1,92 @@
+"""Golden-file tests: the committed record IS what the stores produce.
+
+These are the teeth behind "the docs match the data": regenerating every
+report-owned file from the committed JSONL stores must reproduce the
+committed bytes exactly, twice in a row, and through the CLI's ``--check``.
+"""
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.theory import PREDICTORS
+from repro.cli import main
+from repro.report import UNTESTED, RecordBundle, build_outputs, evaluate_claims
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+@pytest.fixture(scope="module")
+def outputs():
+    return build_outputs(str(REPO))
+
+
+class TestGolden:
+    def test_generated_files_match_the_committed_record(self, outputs):
+        stale = [
+            rel
+            for rel, content in outputs.items()
+            if (REPO / rel).read_text() != content
+        ]
+        assert not stale, (
+            f"committed files drifted from the stores: {stale} — "
+            "run `python -m repro report` and commit the result"
+        )
+
+    def test_regeneration_is_byte_identical(self, outputs):
+        again = build_outputs(str(REPO))
+        assert outputs == again
+
+    def test_cli_check_passes(self, capsys):
+        assert main(["report", "--check", "--root", str(REPO)]) == 0
+        assert "match the stores" in capsys.readouterr().out
+
+    def test_outputs_cover_claims_experiments_and_figures(self, outputs):
+        assert "EXPERIMENTS.md" in outputs
+        assert "CLAIMS.md" in outputs
+        figures = [rel for rel in outputs if rel.endswith(".svg")]
+        assert len(figures) >= 5
+        assert all(rel.startswith("experiments/figures/") for rel in figures)
+
+
+class TestLedgerAgainstTheRecord:
+    def test_all_predictors_appear_with_verdicts(self, outputs):
+        claims = outputs["CLAIMS.md"]
+        for name in PREDICTORS:
+            assert f"`{name}`" in claims
+
+    def test_at_least_five_claims_are_tested(self):
+        results = evaluate_claims(RecordBundle(str(REPO)))
+        tested = [r for r in results if r.verdict != UNTESTED]
+        assert len(tested) >= 5
+        untested = [r for r in results if r.verdict == UNTESTED]
+        for r in untested:
+            assert r.row.untested_reason
+
+    def test_nothing_is_refuted_by_the_committed_record(self):
+        # a REFUTED row means the stores contradict a declared tolerance —
+        # that must never be the committed state of the repo
+        results = evaluate_claims(RecordBundle(str(REPO)))
+        refuted = [r.row.predictor for r in results if r.verdict == "REFUTED"]
+        assert not refuted
+
+
+class TestFigures:
+    def test_svgs_are_well_formed_xml(self, outputs):
+        for rel, content in outputs.items():
+            if not rel.endswith(".svg"):
+                continue
+            root = ET.fromstring(content)
+            assert root.tag.endswith("svg"), rel
+            # at least one data polyline and the axes frame made it in
+            body = content
+            assert "<polyline" in body and "<rect" in body, rel
+
+    def test_svgs_carry_no_timestamps(self, outputs):
+        # determinism guard: nothing date-like may leak into the bytes
+        import re
+
+        for rel, content in outputs.items():
+            if rel.endswith(".svg"):
+                assert not re.search(r"\d{4}-\d{2}-\d{2}", content), rel

@@ -171,3 +171,45 @@ class TestSweep:
         bad.write_text("{not json")
         with pytest.raises(SystemExit, match="bad campaign spec"):
             main(["sweep", "--spec", str(bad)])
+
+
+class TestReport:
+    """CLI surface of `repro report`; the golden behaviour itself lives in
+    tests/report/test_report_golden.py."""
+
+    def test_check_against_the_committed_record(self, capsys):
+        import pathlib
+
+        repo = str(pathlib.Path(__file__).resolve().parent.parent)
+        assert main(["report", "--check", "--root", repo]) == 0
+        assert "match the stores" in capsys.readouterr().out
+
+    def test_missing_root_exits_with_message(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["report", "--check", "--root", str(tmp_path)])
+        assert "EXPERIMENTS.md" in str(exc.value)
+
+    def test_check_flags_drift_without_writing(self, tmp_path, capsys):
+        import pathlib
+        import shutil
+
+        repo = pathlib.Path(__file__).resolve().parent.parent
+        root = tmp_path / "repo"
+        (root / "experiments").mkdir(parents=True)
+        shutil.copy(repo / "EXPERIMENTS.md", root / "EXPERIMENTS.md")
+        shutil.copy(repo / "CLAIMS.md", root / "CLAIMS.md")
+        for store in (repo / "experiments").glob("*.jsonl"):
+            shutil.copy(store, root / "experiments" / store.name)
+        shutil.copytree(repo / "experiments" / "figures", root / "experiments" / "figures")
+        shutil.copytree(repo / "benchmarks", root / "benchmarks", ignore=shutil.ignore_patterns("*.py", "__pycache__"))
+        # sabotage one generated file: --check must fail and must not repair it
+        claims = root / "CLAIMS.md"
+        sabotaged = claims.read_text() + "\ndrift\n"
+        claims.write_text(sabotaged)
+        assert main(["report", "--check", "--root", str(root)]) == 1
+        assert "stale: CLAIMS.md" in capsys.readouterr().out
+        assert claims.read_text() == sabotaged
+        # write mode repairs exactly the drifted file
+        assert main(["report", "--root", str(root)]) == 0
+        assert "wrote CLAIMS.md" in capsys.readouterr().out
+        assert main(["report", "--check", "--root", str(root)]) == 0

@@ -135,6 +135,46 @@ class TestQuickstarts:
             assert "result.success" in snippet
 
 
+class TestClaimsLedger:
+    """CLAIMS.md must cover the whole predictor registry.
+
+    A new predictor in ``analysis.theory`` cannot ship without a declared
+    ledger row: ``repro.report.ledger`` refuses to evaluate a mismatched
+    ledger, and this test refuses a committed CLAIMS.md that predates the
+    predictor.  (That the file also matches the *data* is asserted by
+    ``tests/report/test_report_golden.py``.)
+    """
+
+    def test_claims_md_exists(self):
+        assert (REPO / "CLAIMS.md").is_file(), (
+            "CLAIMS.md is missing — run `python -m repro report`"
+        )
+
+    def test_every_predictor_has_a_ledger_row(self):
+        from repro.analysis.theory import PREDICTORS
+
+        text = (REPO / "CLAIMS.md").read_text()
+        missing = [name for name in PREDICTORS if f"`{name}`" not in text]
+        assert not missing, (
+            f"CLAIMS.md has no row for predictor(s) {missing} — declare them "
+            "in repro.report.ledger (UNTESTED with a reason is allowed) and "
+            "regenerate with `python -m repro report`"
+        )
+
+    def test_every_row_carries_a_verdict(self):
+        from repro.analysis.theory import PREDICTORS
+
+        text = (REPO / "CLAIMS.md").read_text()
+        for line in text.splitlines():
+            if line.startswith("| `"):
+                assert re.search(r"\*\*(SUPPORTED|PARTIAL|REFUTED|UNTESTED)\*\*", line), (
+                    f"ledger summary row without a verdict: {line}"
+                )
+        assert len(PREDICTORS) == sum(
+            1 for line in text.splitlines() if line.startswith("| `")
+        )
+
+
 class TestReadme:
     def test_cli_tour_covers_all_subcommands(self):
         from repro.cli import build_parser
