@@ -37,6 +37,13 @@ run core_scaling_T1600000 core_scaling
 # unjammed MultiCastAdv additive term (EXPERIMENTS.md section 10); a few
 # ten-million-slot trials — the longest cells of the whole record
 WORKERS=1 run adv_unjammed adv_unjammed
+# jammed MultiCastAdvC across channel caps (EXPERIMENTS.md section 11,
+# Thm 7.2) — the first committed jammed unknown-n campaign, feasible only
+# on the batched Fig. 4/6 kernel (DESIGN.md section 9), which WORKERS=1
+# selects automatically
+WORKERS=1 run limited_adv_C2 limited_adv
+WORKERS=1 run limited_adv_C4 limited_adv
+WORKERS=1 run limited_adv_C8 limited_adv
 
 # the record is only done when the published docs match it: regenerate the
 # EXPERIMENTS.md tables, CLAIMS.md and figures in memory and diff them

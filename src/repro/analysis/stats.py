@@ -123,7 +123,7 @@ def run_trials(
     label: str = "",
     workers: int = 1,
     backend: str = "auto",
-    lane_width: int = DEFAULT_LANE_WIDTH,
+    lane_width: Optional[int] = None,
 ) -> TrialBatch:
     """Run ``trials`` fresh executions and collect the results.
 
@@ -158,7 +158,10 @@ def run_trials(
         per lane, so the adversary-model axis needs no call-site changes.
     lane_width:
         Trials per batched kernel pass (memory/throughput knob; no effect
-        on results).
+        on results).  ``None`` (default) uses the protocol's advertised
+        ``batch_lane_width`` when it has one (``MultiCastAdv`` prefers
+        wider lanes than the cache-bound shared-coin kernel) and
+        :data:`DEFAULT_LANE_WIDTH` otherwise.
     """
     if backend not in ("auto", "scalar", "batched"):
         raise ValueError(f"unknown backend {backend!r} (auto, scalar, batched)")
@@ -174,6 +177,10 @@ def run_trials(
     if backend == "batched" or (backend == "auto" and workers <= 1):
         from repro.core.batch import run_broadcast_batch
 
+        if lane_width is None:
+            lane_width = getattr(
+                protocol_factory(), "batch_lane_width", DEFAULT_LANE_WIDTH
+            )
         lane_width = max(1, int(lane_width))
         results: List[BroadcastResult] = []
         for start in range(0, trials, lane_width):

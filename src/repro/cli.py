@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+import time
 from typing import Optional
 
 from repro import MultiCastC, run_broadcast
@@ -242,6 +243,18 @@ def _sweep_rows(cells):
     return rows
 
 
+def _fmt_duration(seconds: float) -> str:
+    """Compact duration for progress lines: 47s, 3m09s, 1h02m."""
+    seconds = max(0, int(round(seconds)))
+    hours, rem = divmod(seconds, 3600)
+    minutes, secs = divmod(rem, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m"
+    if minutes:
+        return f"{minutes}m{secs:02d}s"
+    return f"{secs}s"
+
+
 def cmd_sweep(args) -> int:
     campaign = _sweep_campaign(args)
     store = ResultStore(args.store)
@@ -250,9 +263,20 @@ def cmd_sweep(args) -> int:
     if skipped:
         print(f"resuming: {skipped} stored trial(s) found in {args.store}", file=sys.stderr)
 
+    # progress carries elapsed/ETA so a long campaign (minutes-per-cell adv
+    # grids on one core) is never opaque between JSONL flushes; the trial
+    # key names the cell, so each line locates the campaign's position
+    started = time.monotonic()
+
     def progress(done, total, record):
         if not args.quiet:
-            print(f"[{done}/{total}] {record.key}", file=sys.stderr)
+            elapsed = time.monotonic() - started
+            eta = elapsed / done * (total - done) if done else 0.0
+            print(
+                f"[{done}/{total}] {record.key} | "
+                f"{_fmt_duration(elapsed)} elapsed | eta {_fmt_duration(eta)}",
+                file=sys.stderr,
+            )
 
     try:
         with store:

@@ -1,0 +1,429 @@
+"""Lane-batched block kernel for ``MultiCastAdv`` / ``MultiCastAdvC``.
+
+The Fig. 4/6 protocols were the last family running scalar-only: their
+epoch/phase lattice (unlike the Figs. 1/2/5 iteration loop) has two steps
+per phase, four feedback counters, and a channel count that grows without
+bound — but none of that resists the lane axis, because all lanes share one
+deterministic timetable and advance through the same (i, j) phases in
+lockstep.  This module is the DESIGN.md section 9 kernel:
+
+* :func:`_adv_step_one_block` — step I (dissemination) for one block of
+  every lane.  A node participates iff its coin clears ``p`` (uninformed ->
+  listen, informed -> broadcast ``m``), so the kernel extracts the ~``pKn``
+  participating ``(lane, row, node)`` triples once and resolves the
+  "uninformed node heard m" events as a per-lane earliest-event loop over
+  sorted cell keys — the exact fixed point of the scalar tail re-resolution
+  in :func:`repro.core.runner.spread_block`, without materializing
+  ``(L, K, n)`` action or feedback matrices.  Once dissemination completes
+  (the steady state of every run) there are no listeners and the block
+  reduces to one send-count ``bincount``.
+* :func:`_adv_step_two_block` — step II (status adjustment).  Statuses are
+  frozen for the whole step, so the four counters N_m, N'_m, N_n, N_s are a
+  pure function of the draws and the jam mask: one participant extraction,
+  one sorted-key broadcaster count per payload (``m`` vs the beacon ``±``),
+  one jam lookup, four ``bincount`` reductions — the sparse analogue of the
+  3-D ``resolve_block`` + ``count_feedback`` pass, vectorized across lanes
+  *and* across the R(i, j) slots of the phase.
+* :func:`run_adv_batch` — the epoch/phase driver mirroring
+  :meth:`repro.core.multicast_adv.MultiCastAdv.run` lane-by-lane, with the
+  end-of-phase checks applied through the *shared*
+  :func:`repro.core.multicast_adv.apply_phase_checks` (one implementation of
+  the threshold comparisons for both paths), and per-lane ``max_slots``
+  overruns masking lanes out mid-phase exactly where the scalar
+  ``SlotLimitExceeded`` lands.
+
+Determinism contract (DESIGN.md section 9, enforced by
+``tests/core/test_batch_equivalence.py``): lane ``l`` is **bit-identical**
+to ``run_broadcast(proto, n, adversaries[l], seed=seeds[l])`` — same draw
+order (per block: one ``(K, n)`` channel draw then one ``(K, n)`` coin draw,
+``K = min(block_slots, remaining)``, from the lane's own generator), same
+slots, statuses, event slots, energy books, periods and extras.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.multicast_adv import (
+    STATUS_HALT,
+    STATUS_IN,
+    STATUS_UN,
+    apply_phase_checks,
+)
+from repro.core.result import BroadcastResult
+from repro.sim.engine import BatchNetwork
+from repro.sim.jam import JamBlock
+
+__all__ = ["run_adv_batch"]
+
+
+def _participants(coins: np.ndarray, channels: np.ndarray, active: np.ndarray,
+                  threshold: float, C: int) -> Tuple[np.ndarray, ...]:
+    """Extract the ``(lane, row, node)`` triples whose coin clears
+    ``threshold`` (masked to active nodes), plus their flat cell keys in the
+    lane-stacked jam key space ``(lane*K + row) * C + channel``."""
+    L, K, n = coins.shape
+    hit = coins < threshold
+    if not active.all():
+        hit &= active[:, None, :]
+    flat = np.flatnonzero(hit)
+    lane = flat // (K * n)
+    row = (flat // n) % K
+    node = flat % n
+    cell = (lane * np.int64(K) + row) * np.int64(C) + channels.ravel()[flat]
+    return flat, lane, row, node, cell
+
+
+def _counts_by_node(lane: np.ndarray, node: np.ndarray, mask: np.ndarray,
+                    L: int, n: int) -> np.ndarray:
+    """``(L, n)`` occurrence counts of the masked hits."""
+    return np.bincount(
+        (lane[mask] * n + node[mask]), minlength=L * n
+    ).reshape(L, n)
+
+
+def _count_at(sorted_cells: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """How many entries of the sorted key array equal each query key."""
+    if not sorted_cells.size:
+        return np.zeros(query.shape[0], dtype=np.int64)
+    lo = np.searchsorted(sorted_cells, query, side="left")
+    hi = np.searchsorted(sorted_cells, query, side="right")
+    return hi - lo
+
+
+def _adv_step_one_block(
+    channels: np.ndarray,
+    coins: np.ndarray,
+    jam: JamBlock,
+    informed: np.ndarray,
+    active: np.ndarray,
+    p: float,
+    *,
+    slot0: np.ndarray,
+    informed_slot: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Resolve one step-I block of every lane, returning
+    ``(listen_counts, send_counts, informed)``.
+
+    Inputs are lane-stacked: ``channels``/``coins`` are ``(L, K, n)``,
+    ``informed``/``active``/``informed_slot`` are ``(L, n)`` (the latter
+    updated in place with event slots), ``jam`` is the lanes' stacked
+    :class:`~repro.sim.jam.JamBlock` of ``L*K`` rows, ``slot0`` each lane's
+    global slot of row 0.
+
+    The step-I action rule makes the *same draw* a listen or a send
+    depending on when its node learned ``m`` (captured as a per-node
+    informing row; -1 = knew at entry, K = never in this block): a hit is a
+    send iff its row is past its node's informing row, a listen otherwise.
+    An uninformed listener hears ``m`` iff its (row, cell) holds exactly one
+    current send and no jamming.  Events only add sends at rows *past* the
+    informing row being set, so processing the earliest hearing per lane
+    (all hearers of that row flip together) and rescanning past it reaches
+    exactly the fixed point of the scalar event loop, with every lane
+    advancing one event per pass.  Dissemination needs at most n-1 events
+    per lane per run, and the expensive late phases have none.
+    """
+    L, K, n = coins.shape
+    flat, lane, row, node, cell = _participants(coins, channels, active, p, jam.C)
+    jam_at = jam.lookup_keys(cell)
+
+    NEVER = np.int64(K)  # sentinel informing row: not informed in this block
+    informing_row = np.where(informed, np.int64(-1), NEVER)  # (L, n)
+    frontier = np.full(L, -1, dtype=np.int64)  # rows <= frontier are settled
+    while True:
+        inf_at_hit = informing_row[lane, node]
+        listeners = (inf_at_hit == NEVER) & (row > frontier[lane])
+        if not listeners.any():
+            break
+        send_cells = np.sort(cell[row > inf_at_hit])
+        heard = (_count_at(send_cells, cell[listeners]) == 1) & ~jam_at[listeners]
+        if not heard.any():
+            break
+        h_idx = np.nonzero(listeners)[0][heard]
+        h_lane = lane[h_idx]
+        h_row = row[h_idx]
+        # earliest hearing row per lane: h_idx is (lane, row, node)-sorted,
+        # so the first index per lane carries its smallest row
+        ev_lanes, first = np.unique(h_lane, return_index=True)
+        ev_row = h_row[first]
+        # every hearer of that exact row flips together (scalar: hears[r])
+        ev = h_row == ev_row[np.searchsorted(ev_lanes, h_lane)]
+        informing_row[h_lane[ev], node[h_idx][ev]] = h_row[ev]
+        frontier[ev_lanes] = ev_row
+
+    if informed_slot is not None:
+        new_lane, new_node = np.nonzero((informing_row >= 0) & (informing_row < NEVER))
+        informed_slot[new_lane, new_node] = (
+            slot0[new_lane] + informing_row[new_lane, new_node]
+        )
+
+    sends = row > informing_row[lane, node]
+    send_counts = _counts_by_node(lane, node, sends, L, n)
+    listen_counts = _counts_by_node(lane, node, ~sends, L, n)
+    return listen_counts, send_counts, informing_row < NEVER
+
+
+def _adv_step_two_block(
+    channels: np.ndarray,
+    coins: np.ndarray,
+    jam: JamBlock,
+    informed: np.ndarray,
+    active: np.ndarray,
+    p: float,
+) -> Tuple[np.ndarray, np.ndarray, dict]:
+    """Resolve one step-II block of every lane, returning
+    ``(listen_counts, send_counts, counters)`` with ``counters`` holding the
+    ``(L, n)`` N_m / N'_m / N_n / N_s increments.
+
+    Statuses are frozen (paper section 6.2), so there is no event loop: a
+    hit listens below ``p`` and broadcasts in ``[p, 2p)`` — the payload is
+    ``m`` for informed nodes and the beacon ``±`` otherwise — and each
+    listen classifies exactly as :func:`repro.sim.channel.resolve_block`
+    would: noise iff its cell is jammed or holds >= 2 broadcasts, else the
+    payload of its single broadcaster, else silence.
+    """
+    L, K, n = coins.shape
+    flat, lane, row, node, cell = _participants(coins, channels, active, 2 * p, jam.C)
+    is_listen = coins.ravel()[flat] < p
+    listen_counts = _counts_by_node(lane, node, is_listen, L, n)
+    send_counts = _counts_by_node(lane, node, ~is_listen, L, n)
+
+    sender_informed = informed[lane, node] & ~is_listen
+    sender_beacon = ~informed[lane, node] & ~is_listen
+    msg_cells = np.sort(cell[sender_informed])
+    beacon_cells = np.sort(cell[sender_beacon])
+
+    lcell = cell[is_listen]
+    msg = _count_at(msg_cells, lcell)
+    beacon = _count_at(beacon_cells, lcell)
+    total = msg + beacon
+    noisy = jam.lookup_keys(lcell) | (total >= 2)
+    got_msg = ~noisy & (total == 1) & (msg == 1)
+    got_beacon = ~noisy & (total == 1) & (beacon == 1)
+    silent = ~noisy & (total == 0)
+
+    l_lane = lane[is_listen]
+    l_node = node[is_listen]
+    n_m = _counts_by_node(l_lane, l_node, got_msg, L, n)
+    n_beacon = _counts_by_node(l_lane, l_node, got_beacon, L, n)
+    counters = {
+        "msg": n_m,
+        "msg_or_beacon": n_m + n_beacon,
+        "noise": _counts_by_node(l_lane, l_node, noisy, L, n),
+        "silence": _counts_by_node(l_lane, l_node, silent, L, n),
+    }
+    return listen_counts, send_counts, counters
+
+
+def run_adv_batch(proto, bnet: BatchNetwork) -> List[BroadcastResult]:
+    """Run one ``MultiCastAdv`` / ``MultiCastAdvC`` execution per lane.
+
+    Mirrors :meth:`repro.core.multicast_adv.MultiCastAdv.run` lane-by-lane.
+    The timetable is deterministic, so every live lane is always in the
+    *same* (i, j)-phase and the whole batch advances through one sequence of
+    draw/resolve/commit calls; a lane whose clock passes ``max_slots`` is
+    masked out mid-phase (its statuses keep the last committed phase's
+    values, its ``informed_slot`` the final partial block's events — exactly
+    where the scalar ``SlotLimitExceeded`` lands), and a lane whose nodes
+    have all halted exits at the next epoch boundary, like the scalar while
+    loop.
+    """
+    n, B = bnet.n, bnet.B
+    status = np.full((B, n), STATUS_UN, dtype=np.int8)
+    status[:, 0] = STATUS_IN  # the source knows m
+    informed_slot = np.full((B, n), -1, dtype=np.int64)
+    informed_slot[:, 0] = 0
+    halt_slot = np.full((B, n), -1, dtype=np.int64)
+    helper_epoch = np.full((B, n), -1, dtype=np.int64)  # î per node
+    helper_phase = np.full((B, n), -1, dtype=np.int64)  # ĵ per node
+    completed = np.ones(B, dtype=bool)
+    epochs_run = np.zeros(B, dtype=np.int64)
+    live = np.ones(B, dtype=bool)
+    i = proto.first_epoch
+
+    while live.any():
+        if proto.max_epochs is not None and i - proto.first_epoch >= proto.max_epochs:
+            completed[live] = False
+            break
+        lane_ids = np.nonzero(live)[0]
+        for j in proto.phases_of_epoch(i):
+            lane_ids = _run_phase_batch(
+                proto,
+                bnet,
+                lane_ids,
+                i,
+                j,
+                status,
+                informed_slot,
+                halt_slot,
+                helper_epoch,
+                helper_phase,
+                completed,
+            )
+            if not lane_ids.size:
+                break
+        # lanes dropped mid-epoch (overrun) keep their lower epoch count,
+        # like the scalar exception path
+        live[np.setdiff1d(np.nonzero(live)[0], lane_ids)] = False
+        epochs_run[lane_ids] += 1
+        finished = ~(status[lane_ids] != STATUS_HALT).any(axis=1)
+        live[lane_ids[finished]] = False
+        i += 1
+
+    halted = status == STATUS_HALT
+    informed = status >= STATUS_IN
+    return [
+        BroadcastResult(
+            protocol=proto.name,
+            n=n,
+            slots=int(bnet.clocks[lane]),
+            completed=bool(completed[lane]) and bool(halted[lane].all()),
+            informed_slot=informed_slot[lane].copy(),
+            halt_slot=halt_slot[lane].copy(),
+            node_energy=bnet.energy.lane_node_cost(lane),
+            adversary_spend=bnet.energy.lane_adversary_spend(lane),
+            halted_uninformed=int((halted[lane] & (informed_slot[lane] < 0)).sum()),
+            periods=int(epochs_run[lane]),
+            extras={
+                "alpha": proto.alpha,
+                "b": proto.b,
+                "channel_cap": proto.channel_cap,
+                "final_status": status[lane].copy(),
+                "helper_epoch": helper_epoch[lane].copy(),
+                "helper_phase": helper_phase[lane].copy(),
+                "informed": informed[lane].copy(),
+                "last_epoch": (
+                    proto.first_epoch + int(epochs_run[lane]) - 1
+                    if epochs_run[lane]
+                    else None
+                ),
+            },
+        )
+        for lane in range(B)
+    ]
+
+
+def _run_phase_batch(
+    proto,
+    bnet: BatchNetwork,
+    lane_ids: np.ndarray,
+    i: int,
+    j: int,
+    status: np.ndarray,
+    informed_slot: np.ndarray,
+    halt_slot: np.ndarray,
+    helper_epoch: np.ndarray,
+    helper_phase: np.ndarray,
+    completed: np.ndarray,
+) -> np.ndarray:
+    """Run one (i, j)-phase for the listed lanes; returns the lanes that
+    survived it (per-lane overruns drop out with ``completed`` cleared)."""
+    R = proto.phase_length(i, j)
+    p = proto.participation_prob(i, j)
+    C = proto.phase_channels(j)
+    active = status[lane_ids] != STATUS_HALT
+    informed = status[lane_ids] >= STATUS_IN
+
+    # ---- Step I: dissemination (statuses may flip un -> in mid-step) ----
+    remaining = R
+    while remaining > 0 and lane_ids.size:
+        K = min(proto.block_slots, remaining)
+        channels = bnet.draw_channels(lane_ids, K, C)
+        coins = bnet.draw_coins(lane_ids, K)
+        jam = bnet.draw_jamming(lane_ids, K, C)
+        sub_slot = informed_slot[lane_ids]
+        listen_counts, send_counts, new_informed = _adv_step_one_block(
+            channels,
+            coins,
+            jam,
+            informed,
+            active,
+            p,
+            slot0=bnet.clocks[lane_ids],
+            informed_slot=sub_slot,
+        )
+        overrun = bnet.commit_counts(lane_ids, listen_counts, send_counts, K)
+        # informed_slot is adopted even for a lane whose commit overran (the
+        # scalar path raises *after* the event loop's in-place update);
+        # everything else belongs to survivors only, matching where the
+        # scalar exception lands.
+        informed_slot[lane_ids] = sub_slot
+        if overrun.any():
+            completed[lane_ids[overrun]] = False
+            lane_ids = lane_ids[~overrun]
+            active = active[~overrun]
+            new_informed = new_informed[~overrun]
+        informed = new_informed
+        remaining -= K
+    # Commit step-I learning (un -> in) on a *local* copy: the global
+    # status array is only written once a lane survives the whole phase,
+    # because the scalar path mutates a copy inside _run_phase and a
+    # SlotLimitExceeded raised in either step aborts before that copy is
+    # returned — a lane dying in step II must keep its pre-phase statuses
+    # (informed_slot is different: its step-I updates are in place on both
+    # paths, see above).
+    st = status[lane_ids]
+    st[(st == STATUS_UN) & informed] = STATUS_IN
+
+    # ---- Step II: frozen statuses, four counters ----
+    n_m = np.zeros((lane_ids.size, bnet.n), dtype=np.int64)
+    n_mb = np.zeros_like(n_m)
+    n_noise = np.zeros_like(n_m)
+    n_silence = np.zeros_like(n_m)
+    remaining = R
+    while remaining > 0 and lane_ids.size:
+        K = min(proto.block_slots, remaining)
+        channels = bnet.draw_channels(lane_ids, K, C)
+        coins = bnet.draw_coins(lane_ids, K)
+        jam = bnet.draw_jamming(lane_ids, K, C)
+        listen_counts, send_counts, counters = _adv_step_two_block(
+            channels, coins, jam, informed, active, p
+        )
+        overrun = bnet.commit_counts(lane_ids, listen_counts, send_counts, K)
+        if overrun.any():
+            # the overrunning lane's block counters are dropped — the scalar
+            # path raises at commit, before counting the block's feedback
+            completed[lane_ids[overrun]] = False
+            keep = ~overrun
+            lane_ids = lane_ids[keep]
+            active = active[keep]
+            informed = informed[keep]
+            st = st[keep]
+            n_m, n_mb = n_m[keep], n_mb[keep]
+            n_noise, n_silence = n_noise[keep], n_silence[keep]
+            counters = {name: arr[keep] for name, arr in counters.items()}
+        n_m += counters["msg"]
+        n_mb += counters["msg_or_beacon"]
+        n_noise += counters["noise"]
+        n_silence += counters["silence"]
+        remaining -= K
+
+    if lane_ids.size:
+        isl = informed_slot[lane_ids]
+        hsl = halt_slot[lane_ids]
+        hep = helper_epoch[lane_ids]
+        hph = helper_phase[lane_ids]
+        apply_phase_checks(
+            proto,
+            i,
+            j,
+            active=active,
+            status=st,
+            n_m=n_m,
+            n_mb=n_mb,
+            n_noise=n_noise,
+            n_silence=n_silence,
+            informed_slot=isl,
+            halt_slot=hsl,
+            helper_epoch=hep,
+            helper_phase=hph,
+            clock=bnet.clocks[lane_ids][:, None],
+        )
+        status[lane_ids] = st
+        informed_slot[lane_ids] = isl
+        halt_slot[lane_ids] = hsl
+        helper_epoch[lane_ids] = hep
+        helper_phase[lane_ids] = hph
+    return lane_ids

@@ -25,9 +25,14 @@ This module is the protocol-layer half of that move (DESIGN.md section 6):
 * :func:`run_broadcast_batch` — the batch analogue of
   :func:`repro.core.result.run_broadcast`: build one
   :class:`repro.sim.engine.BatchNetwork` over per-lane seeds/adversaries and
-  dispatch to the protocol's ``run_batch``; protocols without one (only
-  ``MultiCastAdv`` today) silently fall back to a scalar per-lane loop, so
-  call sites never need to care.
+  dispatch to the protocol's ``run_batch``.  Every shipped protocol has one
+  (``MultiCastAdv``/``MultiCastAdvC`` batch through
+  :mod:`repro.core.adv_batch`); a protocol without one (or a batch mixing
+  reactive with oblivious adversaries) falls back to a per-lane loop behind
+  the same interface — loudly: the fallback prints one stderr line and
+  stamps ``extras["backend"] = "scalar-fallback"`` on each lane that ran
+  the scalar block engine, so campaign logs and stores show which cells
+  didn't batch.
 
 Determinism contract (enforced by ``tests/core/test_batch_equivalence.py``):
 lane ``l`` is **bit-identical** to the scalar execution with the same
@@ -39,6 +44,7 @@ and the kernel computes exactly the quantities the scalar resolver would
 
 from __future__ import annotations
 
+import sys
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -371,11 +377,17 @@ def run_broadcast_batch(
     ``seeds[l]``, and the returned list matches what ``B`` scalar
     ``run_broadcast`` calls would produce, result for result.
 
-    Protocols advertise batch support with a ``run_batch(bnet)`` method
-    (``MultiCast``, ``MultiCast(C)``, ``MultiCastCore`` and the baselines
-    have one); anything else — ``MultiCastAdv`` keeps its scalar engine for
-    now — transparently falls back to a per-lane scalar loop behind the same
-    interface, so callers pick the entry point by workload shape alone.
+    Protocols advertise batch support with a ``run_batch(bnet)`` method —
+    every shipped protocol has one (``MultiCastAdv``/``MultiCastAdvC``
+    through :mod:`repro.core.adv_batch`).  A protocol without one — and any
+    batch mixing reactive with oblivious adversaries — falls back to a
+    per-lane loop behind the same interface, but not silently: every lane
+    that actually ran the scalar block engine gets
+    ``extras["backend"] = "scalar-fallback"`` and one stderr line counts
+    them, so campaign logs and stores show which cells didn't batch.
+    (Lanes with *reactive* adversaries are different — they dispatch to the
+    vectorized arena runtime by design and are neither warned about nor
+    stamped.)
     """
     seeds = list(seeds)
     if not seeds:
@@ -387,15 +399,35 @@ def run_broadcast_batch(
         raise ValueError(
             f"{len(adversaries)} adversaries for {len(seeds)} seeds (need one per lane)"
         )
-    if not hasattr(protocol, "run_batch") or any(
+    has_run_batch = hasattr(protocol, "run_batch")
+    if not has_run_batch or any(
         hasattr(adversary, "jam_slot") for adversary in adversaries
     ):
         # reactive (adaptive) adversaries cannot run on the oblivious block
         # engine; run_broadcast dispatches those lanes to the arena runtime
-        return [
-            run_broadcast(protocol, n, adversary, seed=seed, max_slots=max_slots)
-            for adversary, seed in zip(adversaries, seeds)
-        ]
+        results = []
+        fallbacks = 0
+        for adversary, seed in zip(adversaries, seeds):
+            result = run_broadcast(protocol, n, adversary, seed=seed, max_slots=max_slots)
+            if not hasattr(adversary, "jam_slot"):
+                # this lane ran the scalar block engine (reactive lanes run
+                # the vectorized arena by design and are not stamped)
+                result.extras["backend"] = "scalar-fallback"
+                fallbacks += 1
+            results.append(result)
+        if fallbacks:
+            name = getattr(protocol, "name", type(protocol).__name__)
+            reason = (
+                "has no run_batch"
+                if not has_run_batch
+                else "split a mixed reactive/oblivious batch"
+            )
+            print(
+                f"run_broadcast_batch: {name} {reason} — "
+                f"{fallbacks} lane(s) ran on the scalar fallback",
+                file=sys.stderr,
+            )
+        return results
     for adversary in adversaries:
         if adversary is not None:
             adversary.reset()

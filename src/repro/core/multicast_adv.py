@@ -56,13 +56,93 @@ from repro.core.runner import (
 from repro.sim.engine import RadioNetwork, SlotLimitExceeded
 from repro.sim.trace import TraceRecorder
 
-__all__ = ["MultiCastAdv", "STATUS_UN", "STATUS_IN", "STATUS_HELPER", "STATUS_HALT"]
+__all__ = [
+    "MultiCastAdv",
+    "STATUS_UN",
+    "STATUS_IN",
+    "STATUS_HELPER",
+    "STATUS_HALT",
+    "apply_phase_checks",
+]
 
 # Node statuses (paper: un / in / helper / halt).
 STATUS_UN = np.int8(0)
 STATUS_IN = np.int8(1)
 STATUS_HELPER = np.int8(2)
 STATUS_HALT = np.int8(3)
+
+
+def apply_phase_checks(
+    proto,
+    i: int,
+    j: int,
+    *,
+    active: np.ndarray,
+    status: np.ndarray,
+    n_m: np.ndarray,
+    n_mb: np.ndarray,
+    n_noise: np.ndarray,
+    n_silence: np.ndarray,
+    informed_slot: np.ndarray,
+    halt_slot: np.ndarray,
+    helper_epoch: np.ndarray,
+    helper_phase: np.ndarray,
+    clock,
+):
+    """End-of-phase checks (pseudocode lines 21-23 / 21-25), applied in order,
+    mutating ``status`` and the bookkeeping arrays in place.
+
+    This is the *single* implementation of the four threshold comparisons
+    (N_m >= 1.5Rp², N_s >= 0.9Rp, N'_m <= 2.2Rp², N_n <= Rp/D): the scalar
+    runner (:meth:`MultiCastAdv._run_phase`) calls it with ``(n,)`` arrays
+    and an integer ``clock``, the lane-batched runner
+    (:mod:`repro.core.adv_batch`) with ``(L, n)`` arrays and an ``(L, 1)``
+    per-lane clock column — so an off-by-one at a boundary cannot diverge
+    between the two paths (tests/core/test_adv_phase_checks.py pins the
+    exact-equality behaviour of every comparison).
+
+    ``active`` is the phase-entry active mask (statuses that were not HALT
+    when the phase began); ``status`` must already reflect the step-I
+    promotions.  Returns ``(helper_cond, halt_cond)`` for trace bookkeeping.
+    """
+    R = proto.phase_length(i, j)
+    p = proto.participation_prob(i, j)
+    rp, rp2 = R * p, R * p * p
+    clock_full = np.broadcast_to(np.asarray(clock, dtype=np.int64), status.shape)
+
+    # Line 21: un and N_m >= 1 -> in.
+    promote = active & (status == STATUS_UN) & (n_m >= 1)
+    status[promote] = STATUS_IN
+    informed_slot[promote] = clock_full[promote]
+
+    # Line 22 (Fig. 4) / lines 22-24 (Fig. 6): in -> helper.
+    helper_cond = (
+        active
+        & (status == STATUS_IN)
+        & (n_m >= proto.HELPER_MSG_FACTOR * rp2)
+        & (n_silence >= proto.HELPER_SILENCE_FACTOR * rp)
+    )
+    if not (proto.max_phase is not None and j == proto.max_phase):
+        # The N'_m ceiling applies except at the Fig. 6 boundary phase
+        # j = lg C, where the paper removes it.
+        helper_cond &= n_mb <= proto.HELPER_BEACON_CEIL * rp2
+    status[helper_cond] = STATUS_HELPER
+    helper_epoch[helper_cond] = i
+    helper_phase[helper_cond] = j
+
+    # Line 23 / 25: helper, waited >= 2/alpha epochs, matching phase, and
+    # low noise -> halt.  Nodes promoted to helper this very phase fail
+    # the wait (i - i = 0), matching the sequential pseudocode.
+    halt_cond = (
+        active
+        & (status == STATUS_HELPER)
+        & (i - helper_epoch >= proto.helper_wait)
+        & (helper_phase == j)
+        & (n_noise <= rp / proto.halt_noise_divisor)
+    )
+    status[halt_cond] = STATUS_HALT
+    halt_slot[halt_cond] = clock_full[halt_cond]
+    return helper_cond, halt_cond
 
 
 class MultiCastAdv:
@@ -99,6 +179,15 @@ class MultiCastAdv:
     HELPER_MSG_FACTOR = 1.5  #: N_m >= 1.5 R p^2
     HELPER_SILENCE_FACTOR = 0.9  #: N_s >= 0.9 R p
     HELPER_BEACON_CEIL = 2.2  #: N'_m <= 2.2 R p^2
+
+    #: Preferred trials per lane-batched kernel pass (consulted by
+    #: ``run_trials``/``run_trial_batch`` when no explicit width is given).
+    #: Purely a throughput knob — results are bit-identical at any width.
+    #: The Fig. 4/6 kernel's per-lane working set is tiny (laptop-scale n),
+    #: so amortizing per-block overhead across more lanes wins where the
+    #: n = 64 shared-coin kernel is cache-bound at width 2 (DESIGN.md 9.3,
+    #: measured in BENCH_adv_batch.json).
+    batch_lane_width = 8
 
     def __init__(
         self,
@@ -230,6 +319,14 @@ class MultiCastAdv:
             },
         )
 
+    def run_batch(self, bnet) -> list:
+        """Execute one broadcast per lane of a
+        :class:`repro.sim.engine.BatchNetwork` — bit-identical per lane to
+        :meth:`run` under the same seed (DESIGN.md section 9)."""
+        from repro.core.adv_batch import run_adv_batch
+
+        return run_adv_batch(self, bnet)
+
     def _run_phase(
         self,
         net: RadioNetwork,
@@ -300,42 +397,24 @@ class MultiCastAdv:
             n_silence += counts["silence"]
             remaining -= K
 
-        # ---- End-of-phase checks, in pseudocode order ----
-        rp = R * p
-        rp2 = R * p * p
-
-        # Line 21: un and N_m >= 1 -> in.
-        promote = active & (status == STATUS_UN) & (n_m >= 1)
-        status[promote] = STATUS_IN
-        informed_slot[promote] = net.clock
-
-        # Line 22 (Fig. 4) / lines 22-24 (Fig. 6): in -> helper.
-        helper_cond = (
-            active
-            & (status == STATUS_IN)
-            & (n_m >= self.HELPER_MSG_FACTOR * rp2)
-            & (n_silence >= self.HELPER_SILENCE_FACTOR * rp)
+        # ---- End-of-phase checks, in pseudocode order (shared with the
+        # lane-batched runner — see apply_phase_checks) ----
+        helper_cond, halt_cond = apply_phase_checks(
+            self,
+            i,
+            j,
+            active=active,
+            status=status,
+            n_m=n_m,
+            n_mb=n_mb,
+            n_noise=n_noise,
+            n_silence=n_silence,
+            informed_slot=informed_slot,
+            halt_slot=halt_slot,
+            helper_epoch=helper_epoch,
+            helper_phase=helper_phase,
+            clock=net.clock,
         )
-        if not (self.max_phase is not None and j == self.max_phase):
-            # The N'_m ceiling applies except at the Fig. 6 boundary phase
-            # j = lg C, where the paper removes it.
-            helper_cond &= n_mb <= self.HELPER_BEACON_CEIL * rp2
-        status[helper_cond] = STATUS_HELPER
-        helper_epoch[helper_cond] = i
-        helper_phase[helper_cond] = j
-
-        # Line 23 / 25: helper, waited >= 2/alpha epochs, matching phase, and
-        # low noise -> halt.  Nodes promoted to helper this very phase fail
-        # the wait (i - i = 0), matching the sequential pseudocode.
-        halt_cond = (
-            active
-            & (status == STATUS_HELPER)
-            & (i - helper_epoch >= self.helper_wait)
-            & (helper_phase == j)
-            & (n_noise <= rp / self.halt_noise_divisor)
-        )
-        status[halt_cond] = STATUS_HALT
-        halt_slot[halt_cond] = net.clock
 
         if trace is not None:
             trace.record_period(

@@ -91,7 +91,9 @@ def run_trial(spec: TrialSpec) -> TrialRecord:
     return TrialRecord.from_result(spec, result, wall_time=time.perf_counter() - t0)
 
 
-def run_trial_batch(specs: Sequence[TrialSpec], *, lane_width: int = LANE_WIDTH) -> Iterator[TrialRecord]:
+def run_trial_batch(
+    specs: Sequence[TrialSpec], *, lane_width: Optional[int] = None
+) -> Iterator[TrialRecord]:
     """Execute trials that share a cell through the lane-batched engine.
 
     All specs must agree on everything but their trial index (one protocol,
@@ -99,7 +101,10 @@ def run_trial_batch(specs: Sequence[TrialSpec], *, lane_width: int = LANE_WIDTH)
     in spec order, ``lane_width`` trials per kernel pass, each record
     bit-identical to ``run_trial(spec)`` except for ``wall_time``, which is
     apportioned evenly across a pass's lanes (the lanes genuinely ran
-    together; only their total is physical).
+    together; only their total is physical).  ``lane_width=None`` (default)
+    honors the protocol's advertised ``batch_lane_width`` when it has one
+    (``MultiCastAdv`` prefers wider lanes) and falls back to
+    :data:`LANE_WIDTH`; the width never changes results, only throughput.
     """
     specs = list(specs)
     if not specs:
@@ -107,6 +112,12 @@ def run_trial_batch(specs: Sequence[TrialSpec], *, lane_width: int = LANE_WIDTH)
     first = specs[0]
     if any(_cell_identity(s) != _cell_identity(first) for s in specs):
         raise ValueError("run_trial_batch specs must share one campaign cell")
+    if lane_width is None:
+        probe = build_protocol(
+            first.protocol, first.n, T=first.budget, C=first.channels,
+            knobs=first.protocol_knobs,
+        )
+        lane_width = getattr(probe, "batch_lane_width", LANE_WIDTH)
     lane_width = max(1, int(lane_width))
     for start in range(0, len(specs), lane_width):
         chunk = specs[start : start + lane_width]

@@ -35,6 +35,7 @@ from repro.analysis.theory import (
     PREDICTORS,
     adv_cost,
     adv_time,
+    limited_adv_time,
     limited_time,
     multicast_core_time,
     multicast_cost,
@@ -413,10 +414,49 @@ def claims_ledger() -> Tuple[ClaimRow, ...]:
                 "MultiCastAdvC completes in Õ(T/C^(1−2α) + n^(2+2α)/C^(2−2α)) "
                 "with C channels and unknown n, T."
             ),
-            untested_reason=(
-                "needs jammed MultiCastAdvC grids — minutes per trial at laptop "
-                "scale, so no committed campaign exists yet; the claim is probed "
-                "qualitatively by benchmarks/bench_limited_adv.py."
+            evidence=(
+                Evidence(
+                    label="jammed completion time vs channel cap (n=16)",
+                    store="limited_adv",
+                    metric="slots",
+                    x="channels",
+                    kind="exponent",
+                    curve=lambda C: limited_adv_time(0, 16, C, _ADV_ALPHA),
+                    select=(("n", 16),),
+                    tol=0.35,
+                    tol_loose=1.0,
+                    note=(
+                        "termination epochs are lattice-quantized (doubling C "
+                        "moves the halt phase by ~(1/α − 1) epochs), so a "
+                        "3-point C grid carries the section-10 residual budget"
+                    ),
+                ),
+                Evidence(
+                    label="jammed completion time vs n (C=2)",
+                    store="limited_adv",
+                    metric="slots",
+                    x="n",
+                    kind="exponent",
+                    curve=lambda n: limited_adv_time(0, n, 2, _ADV_ALPHA),
+                    select=(("channels", 2),),
+                    tol=0.5,
+                    tol_loose=1.5,
+                    note=(
+                        "C = 2 is the deepest-scarcity column and the one "
+                        "where C ≪ n holds at both grid points; a two-point "
+                        "fit grades direction and magnitude only"
+                    ),
+                ),
+            ),
+            partial_reason=(
+                "the committed blackout grid (T = 1e5) is dominated by the "
+                "additive n^(2+2α)/C^(2−2α) term — Eve's whole budget jams "
+                "under 1% of a run — so these fits grade that term's C and n "
+                "dependence in its home regime (the n = 16 series, C ≤ n/2 "
+                "throughout; the n = 8 cells run C up to n itself and are "
+                "reported unfitted in EXPERIMENTS.md section 11); the "
+                "T/C^(1−2α) budget term stays bench-only "
+                "(benchmarks/bench_limited_adv.py), as for Thms 6.10b/c."
             ),
         ),
     )

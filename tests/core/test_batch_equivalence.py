@@ -13,6 +13,8 @@ import pytest
 
 from repro.core import (
     MultiCast,
+    MultiCastAdv,
+    MultiCastAdvC,
     MultiCastCore,
     run_broadcast,
     run_broadcast_batch,
@@ -33,6 +35,13 @@ BATCHED_PROTOCOLS = {
     "naive": lambda: build_protocol("naive", N),
 }
 
+#: tier-1 laptop profile for the MultiCastAdv equivalence matrix: structural
+#: constants untouched, scale knobs shrunk so the *scalar* side of every
+#: case stays around a second (DESIGN.md section 2.2 / 9)
+ADV_N = 8
+ADV_BUDGET = 2_000
+ADV_FAST = dict(alpha=0.24, b=0.01, halt_noise_divisor=20.0, helper_wait=2.0, max_epochs=20)
+
 
 def assert_results_equal(batched, reference, context):
     __tracebackhide__ = True
@@ -44,7 +53,6 @@ def assert_results_equal(batched, reference, context):
         "adversary_spend",
         "halted_uninformed",
         "periods",
-        "extras",
     ):
         assert getattr(batched, attr) == getattr(reference, attr), (context, attr)
     for attr in ("informed_slot", "halt_slot", "node_energy"):
@@ -53,16 +61,30 @@ def assert_results_equal(batched, reference, context):
             getattr(reference, attr),
             err_msg=f"{context}: {attr}",
         )
+    # extras may hold per-node arrays (MultiCastAdv's status lattice), which
+    # plain dict equality cannot compare
+    assert batched.extras.keys() == reference.extras.keys(), context
+    for key, expected in reference.extras.items():
+        if isinstance(expected, np.ndarray):
+            np.testing.assert_array_equal(
+                batched.extras[key], expected, err_msg=f"{context}: extras[{key}]"
+            )
+        else:
+            assert batched.extras[key] == expected, (context, f"extras[{key}]")
 
 
-def run_both_ways(factory, jammer_name, *, budget=BUDGET, seeds=SEEDS, max_slots=50_000_000):
-    adversaries = [build_jammer(jammer_name, budget, 100 + i) for i in range(len(seeds))]
-    batched = run_broadcast_batch(factory(), N, adversaries, seeds, max_slots=max_slots)
+def run_both_ways(
+    factory, jammer_name, *, budget=BUDGET, seeds=SEEDS, n=N, max_slots=50_000_000
+):
+    adversaries = [
+        build_jammer(jammer_name, budget, 100 + i, n=n) for i in range(len(seeds))
+    ]
+    batched = run_broadcast_batch(factory(), n, adversaries, seeds, max_slots=max_slots)
     for i, seed in enumerate(seeds):
         reference = run_broadcast(
             factory(),
-            N,
-            build_jammer(jammer_name, budget, 100 + i),
+            n,
+            build_jammer(jammer_name, budget, 100 + i, n=n),
             seed=seed,
             max_slots=max_slots,
         )
@@ -118,6 +140,50 @@ class TestTruncationParity:
             max_slots=900,
         )
 
+    def test_adv_truncated_mid_phase(self):
+        """MultiCastAdv lanes overrun at different clocks; each must stop
+        exactly where the scalar SlotLimitExceeded lands (statuses from the
+        last committed phase, informed_slot from the final partial block)."""
+        run_both_ways(
+            lambda: MultiCastAdv(**ADV_FAST),
+            "blackout",
+            budget=100_000,
+            n=ADV_N,
+            max_slots=3_000,
+        )
+        run_both_ways(
+            lambda: MultiCastAdv(**ADV_FAST),
+            "blackout",
+            budget=100_000,
+            n=ADV_N,
+            max_slots=40_000,
+        )
+
+    @pytest.mark.parametrize("max_slots", [7, 16, 24, 150, 700])
+    def test_adv_truncated_in_step_two(self, max_slots):
+        """Regression: a lane whose overrun lands in *step II* of a phase
+        must keep its pre-phase statuses — the scalar SlotLimitExceeded
+        aborts _run_phase before the step-I un->in promotions in its local
+        status copy are returned, so the batch driver must defer its own
+        status write-back to phase end.  These max_slots values land the
+        overrun in step II of the earliest phases (the two cases above land
+        it in step I or at phase boundaries and missed the window)."""
+        run_both_ways(
+            lambda: MultiCastAdv(**ADV_FAST),
+            "none",
+            budget=0,
+            n=ADV_N,
+            max_slots=max_slots,
+        )
+
+    def test_adv_max_epochs_cutoff(self):
+        run_both_ways(
+            lambda: MultiCastAdv(alpha=0.24, b=0.01, max_epochs=6),
+            "none",
+            budget=0,
+            n=ADV_N,
+        )
+
     def test_max_iterations_cutoff(self):
         adversaries = [build_jammer("blackout", 500_000, i) for i in range(3)]
         batched = run_broadcast_batch(
@@ -134,9 +200,72 @@ class TestTruncationParity:
             assert not batched[i].completed
 
 
+class TestAdvEquivalence:
+    """The Fig. 4/6 kernel (core/adv_batch.py) against the scalar engine:
+    same acceptance matrix as the shared-coin protocols, at the tier-1
+    laptop profile.  This parity case used to be feasible only at the `slow`
+    marker's scale; the batched kernel makes the sub-second version real.
+    The full-scale differential (registry gallery profile, minutes of
+    scalar time) stays behind `slow` below."""
+
+    @pytest.mark.parametrize("jammer_name", sorted(oblivious_jammer_names()))
+    def test_adv_batched_equals_scalar(self, jammer_name):
+        budget = 0 if jammer_name == "none" else ADV_BUDGET
+        run_both_ways(
+            lambda: MultiCastAdv(**ADV_FAST),
+            jammer_name,
+            budget=budget,
+            n=ADV_N,
+            seeds=SEEDS[:2],
+        )
+
+    @pytest.mark.parametrize("C", [2, 4])
+    def test_adv_c_batched_equals_scalar(self, C):
+        """The channel-capped variant, including the boundary phase j = lg C
+        where the helper rule drops the N'_m ceiling."""
+        run_both_ways(
+            lambda: MultiCastAdvC(C, **ADV_FAST),
+            "blanket",
+            budget=ADV_BUDGET,
+            n=ADV_N,
+            seeds=SEEDS[:2],
+        )
+
+    def test_adv_c_unjammed(self):
+        run_both_ways(
+            lambda: MultiCastAdvC(2, **ADV_FAST),
+            "none",
+            budget=0,
+            n=ADV_N,
+            seeds=SEEDS[:2],
+        )
+
+
+@pytest.mark.slow
+class TestAdvEquivalenceFullScale:
+    """The committed-campaign profile (registry ADV_KNOBS, n=16, jammed):
+    minutes of scalar wall-clock, so `slow`-marked like the reference-node
+    differentials — the tier-1 matrix above covers the same code paths at
+    the laptop profile."""
+
+    def test_gallery_profile_jammed(self):
+        from repro.exp.registry import ADV_KNOBS
+
+        run_both_ways(
+            lambda: MultiCastAdv(**ADV_KNOBS, max_epochs=32),
+            "phase_targeted",
+            budget=250_000,
+            n=16,
+            seeds=SEEDS[:2],
+            max_slots=400_000_000,
+        )
+
+
 class TestDispatcher:
-    def test_scalar_fallback_without_run_batch(self):
-        """Protocols lacking run_batch run scalar per lane, same interface."""
+    def test_scalar_fallback_without_run_batch(self, capsys):
+        """Protocols lacking run_batch run scalar per lane, same interface —
+        but stamped ``backend="scalar-fallback"`` and warned about on
+        stderr, so campaign logs show which cells didn't batch."""
 
         class ScalarOnly:
             def __init__(self):
@@ -148,9 +277,37 @@ class TestDispatcher:
 
         seeds = [1, 2]
         batched = run_broadcast_batch(ScalarOnly(), N, None, seeds)
+        assert "scalar fallback" in capsys.readouterr().err
         for i, seed in enumerate(seeds):
             reference = run_broadcast(MultiCastCore(N, BUDGET), N, None, seed=seed)
+            assert batched[i].extras.pop("backend") == "scalar-fallback"
             assert_results_equal(batched[i], reference, ("fallback", i))
+
+    def test_adv_no_longer_falls_back(self, capsys):
+        """MultiCastAdv batches natively now: no stamp, no warning."""
+        (result,) = run_broadcast_batch(
+            MultiCastAdv(**ADV_FAST), ADV_N, None, [42]
+        )
+        assert "backend" not in result.extras
+        assert capsys.readouterr().err == ""
+
+    def test_mixed_reactive_batch_stamps_the_scalar_lanes(self, capsys):
+        """A reactive adversary anywhere in the batch forces the per-lane
+        loop; the *oblivious* lanes then run the scalar block engine and
+        must be stamped/warned, while the reactive lane (vectorized arena
+        by design) is not."""
+        from repro.adversary.reactive import TrailingJammer
+
+        reactive = TrailingJammer(500, k=2, seed=1)
+        oblivious = build_jammer("blanket", BUDGET, 2)
+        results = run_broadcast_batch(
+            MultiCast(N), N, [reactive, oblivious], [1, 2]
+        )
+        assert "backend" not in results[0].extras
+        assert results[1].extras["backend"] == "scalar-fallback"
+        err = capsys.readouterr().err
+        assert "mixed reactive/oblivious batch" in err
+        assert "1 lane(s)" in err
 
     def test_lane_count_mismatch_rejected(self):
         with pytest.raises(ValueError):

@@ -81,6 +81,23 @@ class TestSweep:
         for pair in ("core  blanket", "core    sweep", "multicast  blanket"):
             assert pair in out
 
+    def test_sweep_progress_reports_elapsed_and_eta(self, capsys):
+        """Without --quiet, every completed trial logs a stderr progress
+        line carrying the trial key (which names the cell) plus wall-clock
+        elapsed and the remaining-work ETA."""
+        args = [a for a in self.ARGS if a != "--quiet"]
+        rc = main(args + ["--workers", "1"])
+        err = capsys.readouterr().err
+        assert rc == 0
+        lines = [line for line in err.splitlines() if line.startswith("[")]
+        assert len(lines) == 2 * 2 * 2  # one per trial
+        assert lines[0].startswith("[1/8] ")
+        assert lines[-1].startswith("[8/8] ")
+        for line in lines:
+            assert "elapsed" in line and "eta" in line, line
+        # the key locates the campaign's position cell by cell
+        assert any("multicast/blanket/n16/T4000" in line for line in lines)
+
     def test_sweep_serial_matches_parallel(self, capsys):
         main(self.ARGS + ["--workers", "1"])
         serial = capsys.readouterr().out
