@@ -44,6 +44,10 @@ WORKERS=1 run adv_unjammed adv_unjammed
 WORKERS=1 run limited_adv_C2 limited_adv
 WORKERS=1 run limited_adv_C4 limited_adv
 WORKERS=1 run limited_adv_C8 limited_adv
+# adaptive stopping demo (EXPERIMENTS.md section 12): trial counts are an
+# output here — cells run seed waves until the max_cost CI target is hit,
+# and the stopping decisions land in the store next to the trial rows
+run adaptive adaptive
 
 # the record is only done when the published docs match it: regenerate the
 # EXPERIMENTS.md tables, CLAIMS.md and figures in memory and diff them

@@ -19,7 +19,7 @@ import numpy as np
 from repro.core.result import BroadcastResult, run_broadcast
 from repro.sim.rng import derive_seed
 
-__all__ = ["TrialBatch", "Summary", "run_trials", "summarize"]
+__all__ = ["TrialBatch", "Summary", "RunningStat", "run_trials", "summarize"]
 
 
 @dataclass
@@ -51,6 +51,91 @@ class Summary:
 
     def __str__(self) -> str:  # pragma: no cover - display helper
         return f"{self.mean:.4g} ± {self.ci95:.2g}"
+
+    @property
+    def rel_ci95(self) -> float:
+        """ci95 / |mean| — the relative precision adaptive stopping targets.
+
+        0/0 (a constant-zero metric) counts as perfectly precise; any other
+        zero-mean spread is infinitely imprecise.  NaN propagates, so a cell
+        with undefined values (e.g. ``dissemination_slot`` of failed trials)
+        can never satisfy a precision target by accident.
+        """
+        if math.isnan(self.mean) or math.isnan(self.ci95):
+            return float("nan")
+        if self.mean == 0.0:
+            return 0.0 if self.ci95 == 0.0 else float("inf")
+        return self.ci95 / abs(self.mean)
+
+
+class RunningStat:
+    """Welford online accumulator: mean/std/ci95/min/max in O(1) memory.
+
+    The streaming counterpart of :meth:`Summary.of` for pipelines that must
+    not hold the value vector — shard merges, million-row store reductions,
+    per-cell precision tracking during adaptive stopping.  Mean and variance
+    match the batch computation to float tolerance (the update order differs
+    from NumPy's pairwise summation in the last ulps); the median is *not*
+    tracked (exact streaming medians need the values), so :meth:`summary`
+    reports it as NaN.  Exact-median streaming aggregation lives in
+    :class:`repro.exp.store.StreamAggregator`, which keeps compact per-cell
+    value buffers instead.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "lo", "hi", "_nan")
+
+    def __init__(self):
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.lo = float("inf")
+        self.hi = float("-inf")
+        self._nan = 0
+
+    def push(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            # one NaN poisons the batch statistics; mirror that
+            self._nan += 1
+            self.count += 1
+            return
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.lo = min(self.lo, value)
+        self.hi = max(self.hi, value)
+
+    def extend(self, values: Sequence[float]) -> "RunningStat":
+        for v in values:
+            self.push(v)
+        return self
+
+    @property
+    def std(self) -> float:
+        if self._nan:
+            return float("nan")
+        if self.count < 2:
+            return 0.0 if self.count else float("nan")
+        return math.sqrt(self._m2 / (self.count - 1))
+
+    @property
+    def ci95(self) -> float:
+        if not self.count:
+            return float("nan")
+        return 1.96 * self.std / math.sqrt(self.count)
+
+    def summary(self) -> Summary:
+        """The :class:`Summary` of everything pushed so far (median = NaN)."""
+        nan = float("nan")
+        if not self.count:
+            return Summary(nan, nan, nan, nan, nan, nan)
+        if self._nan:
+            return Summary(nan, nan, nan, nan, nan, nan)
+        return Summary(
+            mean=self.mean, std=self.std, median=nan, lo=self.lo, hi=self.hi,
+            ci95=self.ci95,
+        )
 
 
 @dataclass
@@ -124,6 +209,7 @@ def run_trials(
     workers: int = 1,
     backend: str = "auto",
     lane_width: Optional[int] = None,
+    first_trial: int = 0,
 ) -> TrialBatch:
     """Run ``trials`` fresh executions and collect the results.
 
@@ -162,6 +248,13 @@ def run_trials(
         ``batch_lane_width`` when it has one (``MultiCastAdv`` prefers
         wider lanes than the cache-bound shared-coin kernel) and
         :data:`DEFAULT_LANE_WIDTH` otherwise.
+    first_trial:
+        Index of the first trial to run: the batch covers trial indices
+        ``[first_trial, first_trial + trials)``.  Because every trial's
+        seeds derive from its *index*, running ``trials=10`` equals running
+        ``trials=5`` followed by ``trials=5, first_trial=5`` — the
+        seed-wave primitive adaptive stopping is built on
+        (:mod:`repro.exp.adaptive`).
     """
     if backend not in ("auto", "scalar", "batched"):
         raise ValueError(f"unknown backend {backend!r} (auto, scalar, batched)")
@@ -174,6 +267,7 @@ def run_trials(
     def net_seed(t: int) -> int:
         return derive_seed(base_seed, label, "net", t)
 
+    stop = first_trial + trials
     if backend == "batched" or (backend == "auto" and workers <= 1):
         from repro.core.batch import run_broadcast_batch
 
@@ -183,8 +277,8 @@ def run_trials(
             )
         lane_width = max(1, int(lane_width))
         results: List[BroadcastResult] = []
-        for start in range(0, trials, lane_width):
-            chunk = range(start, min(start + lane_width, trials))
+        for start in range(first_trial, stop, lane_width):
+            chunk = range(start, min(start + lane_width, stop))
             results.extend(
                 run_broadcast_batch(
                     protocol_factory(),
@@ -207,7 +301,7 @@ def run_trials(
 
     from repro.exp.pool import fork_map  # local: repro.exp.store imports Summary
 
-    return TrialBatch(results=fork_map(one, range(trials), workers=workers))
+    return TrialBatch(results=fork_map(one, range(first_trial, stop), workers=workers))
 
 
 def summarize(batch: TrialBatch, metric: str) -> Summary:

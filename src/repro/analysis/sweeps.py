@@ -27,6 +27,10 @@ class SweepPoint:
     def mean(self, metric: str) -> float:
         return self.batch.summary(metric).mean
 
+    def precision(self, metric: str) -> float:
+        """Relative 95% CI half-width (ci95 / |mean|) of one metric."""
+        return self.batch.summary(metric).rel_ci95
+
 
 @dataclass
 class SweepResult:
@@ -71,6 +75,9 @@ def sweep(
     base_seed: int = 0,
     max_slots: int = 50_000_000,
     workers: int = 1,
+    ci_target: Optional[float] = None,
+    ci_metric: str = "slots",
+    max_trials: Optional[int] = None,
 ) -> SweepResult:
     """Run a batch at every parameter value.
 
@@ -81,18 +88,39 @@ def sweep(
     :func:`repro.exp.pool.fork_map`; results are independent of the worker
     count (trial seeds derive from ``(base_seed, label, t)``, never from
     scheduling).
+
+    With ``ci_target`` set, each point runs adaptive seed *waves* of
+    ``trials`` executions until the relative 95% CI half-width of
+    ``ci_metric`` (``ci95 / |mean|``) drops to the target or the batch
+    reaches ``max_trials`` (default ``10 * trials``) — the in-memory twin of
+    campaign-level adaptive stopping (DESIGN.md section 10).  Trial indices
+    extend contiguously across waves, so a point that stopped after ``k``
+    trials is a bit-identical prefix of the fixed ``trials=k`` batch.
     """
     result = SweepResult(parameter)
+    if max_trials is None:
+        max_trials = 10 * trials
     for v in values:
-        batch = run_trials(
-            lambda v=v: protocol_factory(v),
-            n_of(v),
-            None if adversary_factory is None else (lambda seed, v=v: adversary_factory(v, seed)),
-            trials=trials,
-            base_seed=base_seed,
-            max_slots=max_slots,
-            label=f"{parameter}={v}",
-            workers=workers,
-        )
+        batch = TrialBatch()
+        while True:
+            wave = run_trials(
+                lambda v=v: protocol_factory(v),
+                n_of(v),
+                None if adversary_factory is None else (lambda seed, v=v: adversary_factory(v, seed)),
+                trials=min(trials, max(0, max_trials - len(batch)))
+                if ci_target is not None
+                else trials,
+                base_seed=base_seed,
+                max_slots=max_slots,
+                label=f"{parameter}={v}",
+                workers=workers,
+                first_trial=len(batch),
+            )
+            batch.results.extend(wave.results)
+            if ci_target is None or len(batch) >= max_trials:
+                break
+            # a single trial has ci95 = 0 by construction — never "precise"
+            if len(batch) >= 2 and batch.summary(ci_metric).rel_ci95 <= ci_target:
+                break
         result.points.append(SweepPoint(float(v), batch))
     return result

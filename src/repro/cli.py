@@ -39,6 +39,7 @@ import argparse
 import dataclasses
 import sys
 import time
+from concurrent.futures.process import BrokenProcessPool
 from typing import Optional
 
 from repro import MultiCastC, run_broadcast
@@ -48,8 +49,10 @@ from repro.exp import (
     CampaignInterrupted,
     CampaignSpec,
     ResultStore,
+    StoppingRule,
     UnknownNameError,
     aggregate,
+    merge_shards,
     run_campaign,
 )
 from repro.exp import registry
@@ -211,6 +214,11 @@ def _sweep_campaign(args) -> CampaignSpec:
             "max_slots": args.max_slots,
         }
         overrides = {k: v for k, v in overrides.items() if v is not None}
+        if args.ci_target is not None:
+            overrides["ci_target"] = args.ci_target
+            overrides["ci_metric"] = args.ci_metric
+            if args.max_trials is not None:
+                overrides["max_trials"] = args.max_trials
         if args.spec:
             return dataclasses.replace(CampaignSpec.load(args.spec), **overrides)
         return CampaignSpec(**{**defaults, **overrides})
@@ -258,6 +266,14 @@ def _fmt_duration(seconds: float) -> str:
 def cmd_sweep(args) -> int:
     campaign = _sweep_campaign(args)
     store = ResultStore(args.store)
+    # fold in any shards a crashed sharded run left behind, so the resume
+    # count below (and the skip-set inside run_campaign) sees them
+    merged = merge_shards(store)
+    if merged:
+        print(
+            f"recovered: {merged} record(s) merged from leftover shard files",
+            file=sys.stderr,
+        )
     # count only THIS campaign's stored trials: shared stores hold others'
     skipped = len({s.key() for s in campaign.trial_specs()} & store.completed_keys())
     if skipped:
@@ -281,7 +297,11 @@ def cmd_sweep(args) -> int:
     try:
         with store:
             records = run_campaign(
-                campaign, store, workers=args.workers, progress=progress
+                campaign,
+                store,
+                workers=args.workers,
+                progress=progress,
+                backend=args.backend,
             )
     except CampaignInterrupted as exc:
         print(
@@ -290,6 +310,13 @@ def cmd_sweep(args) -> int:
             file=sys.stderr,
         )
         return 130
+    except BrokenProcessPool:
+        print(
+            "a worker process died; completed trials are safe in the shard "
+            "files — re-run the same command to resume",
+            file=sys.stderr,
+        )
+        return 1
     cells = aggregate(records)
     print(
         render_table(
@@ -301,7 +328,41 @@ def cmd_sweep(args) -> int:
             ),
         )
     )
+    if campaign.adaptive:
+        _print_stopping_table(campaign, store)
     return 0
+
+
+def _print_stopping_table(campaign: CampaignSpec, store: ResultStore) -> None:
+    """The per-cell stopping decisions of an adaptive campaign, as a table."""
+    suffix = StoppingRule.of_campaign(campaign).suffix()
+    stops = [r for r in store.stopping_records() if r.key.endswith(suffix)]
+    cells = {t.key().rsplit("/", 1)[0] for t in campaign.cell_templates()}
+    stops = [r for r in stops if r.key.rsplit("/stop", 1)[0] in cells]
+    if not stops:
+        return
+    rows = [
+        [
+            r.protocol,
+            r.jammer,
+            r.n,
+            r.trials,
+            f"{r.achieved:.3g}",
+            r.reason,
+        ]
+        for r in stops
+    ]
+    print(
+        render_table(
+            ["protocol", "jammer", "n", "trials", "achieved", "stopped on"],
+            rows,
+            title=(
+                f"adaptive stopping: target {campaign.ci_target:g} on "
+                f"{campaign.ci_metric}, waves of {campaign.trials}, "
+                f"cap {campaign.resolved_max_trials()}"
+            ),
+        )
+    )
 
 
 def cmd_report(args) -> int:
@@ -380,7 +441,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--channels", type=int, default=None, help="C for the (C) variants")
     p_sw.add_argument("--max-slots", type=int, default=None)
     p_sw.add_argument(
-        "--workers", type=int, default=0, help="0 = one per CPU; 1 = serial fallback"
+        "--workers",
+        type=int,
+        default=0,
+        help="0 = one per CPU; 1 = serial fallback; >1 = sharded lane-batched pool",
+    )
+    p_sw.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "batched", "scalar"),
+        help="trial execution: lane-batched engine (auto/batched) or scalar loop",
+    )
+    p_sw.add_argument(
+        "--ci-target",
+        type=float,
+        default=None,
+        help="adaptive stopping: run seed waves per cell until the relative "
+        "95%% CI half-width of --ci-metric reaches this (e.g. 0.05)",
+    )
+    p_sw.add_argument(
+        "--ci-metric",
+        default="slots",
+        help="metric the --ci-target applies to (default slots)",
+    )
+    p_sw.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        help="per-cell seed cap under --ci-target (default 10x --trials)",
     )
     p_sw.add_argument(
         "--store", default=None, help="JSONL result store (enables resumption)"

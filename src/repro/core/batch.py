@@ -45,7 +45,8 @@ and the kernel computes exactly the quantities the scalar resolver would
 from __future__ import annotations
 
 import sys
-from typing import Callable, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,7 +54,12 @@ from repro.core.result import BroadcastResult, run_broadcast
 from repro.sim.engine import BatchNetwork
 from repro.sim.jam import JamBlock
 
-__all__ = ["run_broadcast_batch", "run_iterations_batch"]
+__all__ = [
+    "run_broadcast_batch",
+    "run_iterations_batch",
+    "FallbackNotes",
+    "collect_fallback_notes",
+]
 
 #: ``schedule(i) -> (R, p, threshold)``: iteration i's length, listen
 #: probability and halting threshold (halt iff noisy-slot count < threshold).
@@ -362,6 +368,75 @@ def run_iterations_batch(
     ]
 
 
+class FallbackNotes:
+    """Campaign-scoped tally of scalar-fallback lanes, keyed by cause.
+
+    A long campaign can push thousands of lane blocks through
+    :func:`run_broadcast_batch`; if its protocol cannot batch, a per-call
+    stderr line turns the log into noise (once per kernel pass, not once per
+    campaign).  Inside a :func:`collect_fallback_notes` scope the calls
+    stay silent and the notes accumulate here; the campaign runner emits one
+    summary line per (protocol, reason) at the end.  Counts survive process
+    boundaries as plain dicts (:meth:`snapshot` / :meth:`merge`), which is
+    how sharded workers report theirs back to the parent.
+    """
+
+    def __init__(self):
+        #: (protocol name, reason) -> [lanes, kernel passes]
+        self.counts: Dict[Tuple[str, str], List[int]] = {}
+
+    def add(self, name: str, reason: str, lanes: int, passes: int = 1) -> None:
+        entry = self.counts.setdefault((name, reason), [0, 0])
+        entry[0] += lanes
+        entry[1] += passes
+
+    def snapshot(self) -> Dict[Tuple[str, str], List[int]]:
+        """A picklable copy of the tally (worker -> parent transport)."""
+        return {key: list(value) for key, value in self.counts.items()}
+
+    def merge(self, counts: Dict[Tuple[str, str], List[int]]) -> None:
+        for (name, reason), (lanes, passes) in counts.items():
+            self.add(name, reason, lanes, passes)
+
+    def __bool__(self) -> bool:
+        return bool(self.counts)
+
+    def summary_lines(self) -> List[str]:
+        """One line per cause, in first-seen order."""
+        return [
+            f"run_broadcast_batch: {name} {reason} — {lanes} lane(s) in "
+            f"{passes} kernel pass(es) ran on the scalar fallback"
+            for (name, reason), (lanes, passes) in self.counts.items()
+        ]
+
+    def emit(self, stream=None) -> None:
+        for line in self.summary_lines():
+            print(line, file=stream if stream is not None else sys.stderr)
+
+
+#: The active collector, if any (installed by collect_fallback_notes).
+_FALLBACK_NOTES: Optional[FallbackNotes] = None
+
+
+@contextmanager
+def collect_fallback_notes():
+    """Collect scalar-fallback warnings instead of printing them per call.
+
+    Yields the :class:`FallbackNotes`; nests by shadowing (the innermost
+    scope collects).  The campaign runner wraps each run in one of these and
+    emits the summary once, which is the "one warning per campaign, not one
+    per lane pass" contract ``tests/exp/test_fallback_notes.py`` pins.
+    """
+    global _FALLBACK_NOTES
+    previous = _FALLBACK_NOTES
+    notes = FallbackNotes()
+    _FALLBACK_NOTES = notes
+    try:
+        yield notes
+    finally:
+        _FALLBACK_NOTES = previous
+
+
 def run_broadcast_batch(
     protocol,
     n: int,
@@ -422,11 +497,14 @@ def run_broadcast_batch(
                 if not has_run_batch
                 else "split a mixed reactive/oblivious batch"
             )
-            print(
-                f"run_broadcast_batch: {name} {reason} — "
-                f"{fallbacks} lane(s) ran on the scalar fallback",
-                file=sys.stderr,
-            )
+            if _FALLBACK_NOTES is not None:
+                _FALLBACK_NOTES.add(name, reason, fallbacks)
+            else:
+                print(
+                    f"run_broadcast_batch: {name} {reason} — "
+                    f"{fallbacks} lane(s) ran on the scalar fallback",
+                    file=sys.stderr,
+                )
         return results
     for adversary in adversaries:
         if adversary is not None:

@@ -6,13 +6,20 @@ a hand-rolled loop into a declarative, resumable, parallel pipeline:
 
 1. :mod:`~repro.exp.spec` — declare the grid (:class:`CampaignSpec`) as
    JSON-friendly data; every trial's seeds derive from its identity.
-2. :mod:`~repro.exp.pool` — fan trials across worker processes
-   (:func:`run_campaign`), with a single-process fallback that is
-   bit-identical to the parallel run.
+2. :mod:`~repro.exp.pool` — fan per-cell *lane blocks* across worker
+   processes (:func:`run_campaign`), each worker lane-batching its blocks
+   and writing its own shard file; the single-process fallback is
+   bit-identical to the sharded run.
 3. :mod:`~repro.exp.store` — stream records to an append-only JSONL store
    (:class:`ResultStore`); re-running the same campaign resumes by skipping
-   stored trial keys; :func:`aggregate` reduces records to per-cell
-   confidence intervals.
+   stored trial keys (after :func:`merge_shards` folds in crash leftovers);
+   :func:`aggregate` reduces records to per-cell confidence intervals and
+   :func:`stream_aggregate` does the same memory-bounded for million-row
+   stores.
+4. :mod:`~repro.exp.adaptive` — precision-targeted stopping: with
+   ``ci_target`` set on the spec, each cell runs seed waves until its 95%
+   CI is tight enough (or ``max_trials``), recording the decision in the
+   store.
 
 The ``python -m repro sweep`` CLI wraps exactly this pipeline, and
 ``repro.analysis`` delegates its trial batches to the same pool.  See
@@ -32,6 +39,7 @@ Example::
               cell.summary("max_cost"))
 """
 
+from repro.exp.adaptive import AdaptiveController, StoppingRule
 from repro.exp.pool import (
     CampaignInterrupted,
     default_workers,
@@ -49,17 +57,31 @@ from repro.exp.registry import (
     is_reactive_jammer,
     jammer_names,
     oblivious_jammer_names,
+    protocol_lane_width,
     protocol_names,
     reactive_jammer_names,
 )
+from repro.exp.shard import merge_shards, shard_path, shard_paths
 from repro.exp.spec import CampaignSpec, TrialSpec
-from repro.exp.store import CellStats, ResultStore, TrialRecord, aggregate
+from repro.exp.store import (
+    CellStats,
+    ResultStore,
+    StoppingRecord,
+    StreamAggregator,
+    TrialRecord,
+    aggregate,
+    stream_aggregate,
+)
 
 __all__ = [
+    "AdaptiveController",
     "CampaignInterrupted",
     "CampaignSpec",
     "CellStats",
     "ResultStore",
+    "StoppingRecord",
+    "StoppingRule",
+    "StreamAggregator",
     "TrialRecord",
     "TrialSpec",
     "UnknownNameError",
@@ -72,10 +94,15 @@ __all__ = [
     "fork_map",
     "is_reactive_jammer",
     "jammer_names",
+    "merge_shards",
     "oblivious_jammer_names",
+    "protocol_lane_width",
     "protocol_names",
     "reactive_jammer_names",
     "run_campaign",
     "run_trial",
     "run_trial_batch",
+    "shard_path",
+    "shard_paths",
+    "stream_aggregate",
 ]

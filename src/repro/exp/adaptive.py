@@ -1,0 +1,237 @@
+"""Adaptive stopping: seed waves per cell until a precision target is hit.
+
+A fixed-trial campaign spends the same number of seeds on every cell no
+matter how tight that cell's confidence interval already is.  Adaptive
+stopping turns the trial count into a dependent variable: each cell runs
+*waves* of ``trials`` seeds and stops at the first wave boundary where the
+relative 95% CI half-width (``ci95 / |mean|``) of the target metric reaches
+``ci_target`` — or at the ``max_trials`` cap.  That is what turns "k seeds
+per cell" into a precision SLO: tight cells stop early, noisy cells get the
+budget, and the total trial count is an output, not an input.
+
+Determinism is the load-bearing property.  A trial's seeds derive from its
+identity, so the values observed at a wave boundary are a pure function of
+the spec — which makes the stopping decision, and therefore the *set* of
+trials run, a pure function of the spec too.  Decisions are only taken on
+complete prefixes ``[0, k)`` at wave boundaries ``k`` (never on whatever
+subset happens to be in the store), evaluated in trial order via
+:meth:`Summary.of`, so an interrupted-and-resumed campaign walks the exact
+boundary sequence of an uninterrupted one and stops at the same trial count.
+Each decision is recorded in the store as a
+:class:`~repro.exp.store.StoppingRecord` whose key embeds the rule — resume
+trusts a recorded decision only under the same rule.
+
+A single trial has ``ci95 = 0`` by construction, so no cell may stop before
+:data:`MIN_TRIALS` seeds.  Metrics that are undefined for some trials
+(``dissemination_slot`` of a failed trial) yield NaN half-widths, which
+never satisfy the target: such cells run to the cap rather than stopping on
+vacuous precision.  See DESIGN.md section 10.3 for the statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.analysis.stats import Summary
+from repro.exp.store import METRICS, ResultStore, StoppingRecord, TrialRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec is data-only)
+    from repro.exp.spec import CampaignSpec, TrialSpec
+
+__all__ = ["MIN_TRIALS", "StoppingRule", "AdaptiveController", "metric_value"]
+
+#: No stopping decision before this many seeds: one trial's CI half-width is
+#: zero by construction and two is the smallest sample with a variance.
+MIN_TRIALS = 2
+
+
+def metric_value(record: TrialRecord, metric: str) -> float:
+    """One record's value of ``metric`` as a float (``None`` -> NaN)."""
+    value = getattr(record, metric)
+    return float("nan") if value is None else float(value)
+
+
+@dataclass(frozen=True)
+class StoppingRule:
+    """When a cell may stop: the precision target and the wave geometry."""
+
+    metric: str  #: which TrialRecord metric the CI target applies to
+    target: float  #: relative 95% CI half-width to reach (ci95 / |mean|)
+    wave: int  #: seeds scheduled per wave (the campaign's ``trials``)
+    max_trials: int  #: hard seed cap per cell
+
+    def __post_init__(self):
+        if self.metric not in METRICS:
+            raise ValueError(
+                f"unknown ci metric {self.metric!r} (one of {', '.join(METRICS)})"
+            )
+        if not (self.target > 0):
+            raise ValueError(f"ci target must be positive, got {self.target!r}")
+        if self.wave < 1:
+            raise ValueError("wave size must be at least 1")
+        if self.max_trials < self.wave:
+            raise ValueError(
+                f"max_trials {self.max_trials} is below the wave size {self.wave}"
+            )
+
+    def boundaries(self) -> List[int]:
+        """The trial counts at which decisions are taken: wave multiples,
+        capped by (and always including) ``max_trials``."""
+        out = []
+        k = self.wave
+        while k < self.max_trials:
+            out.append(k)
+            k += self.wave
+        out.append(self.max_trials)
+        return out
+
+    def suffix(self) -> str:
+        """The rule's identity inside a stopping key (stable formatting)."""
+        return f"stop[{self.metric}<={self.target:g}/w{self.wave}/m{self.max_trials}]"
+
+    @classmethod
+    def of_campaign(cls, campaign: "CampaignSpec") -> "StoppingRule":
+        return cls(
+            metric=campaign.ci_metric,
+            target=float(campaign.ci_target),
+            wave=int(campaign.trials),
+            max_trials=int(campaign.resolved_max_trials()),
+        )
+
+
+@dataclass
+class _Decision:
+    reason: str  #: "ci-target" | "max-trials"
+    achieved: float
+    mean: float
+    trials: int
+
+
+class _CellPlan:
+    """One cell's observed metric values, keyed by trial index."""
+
+    __slots__ = ("template", "values", "decision", "recorded")
+
+    def __init__(self, template: "TrialSpec"):
+        self.template = template  #: the cell's trial-0 spec
+        self.values: Dict[int, float] = {}
+        self.decision: Optional[_Decision] = None
+        self.recorded = False  #: a StoppingRecord for this rule is in the store
+
+    def cell_key(self) -> str:
+        return self.template.key().rsplit("/", 1)[0]  # drop the trailing /t0
+
+
+class AdaptiveController:
+    """Schedules seed waves for one campaign until every cell stops.
+
+    The driver loop in :func:`repro.exp.pool.run_campaign` alternates
+    :meth:`next_wave` (which also takes any decisions that are already due)
+    with executing the returned specs and feeding the records back through
+    :meth:`observe`; :meth:`take_decisions` returns the stopping records the
+    caller must append to the store.
+    """
+
+    def __init__(self, campaign: "CampaignSpec", store: ResultStore):
+        self.rule = StoppingRule.of_campaign(campaign)
+        self.plans: List[_CellPlan] = [
+            _CellPlan(template) for template in campaign.cell_templates()
+        ]
+        self._by_key: Dict[str, tuple] = {}
+        for plan in self.plans:
+            for t in range(self.rule.max_trials):
+                key = dataclasses.replace(plan.template, trial=t).key()
+                self._by_key[key] = (plan, t)
+        stop_keys = store.stopping_keys()
+        for plan in self.plans:
+            if f"{plan.cell_key()}/{self.rule.suffix()}" in stop_keys:
+                plan.recorded = True
+        for record in store.iter_records():
+            self.observe(record)
+
+    def observe(self, record: TrialRecord) -> None:
+        """Fold one completed trial into its cell (unknown keys are other
+        campaigns sharing the store; ignored)."""
+        hit = self._by_key.get(record.key)
+        if hit is not None:
+            plan, t = hit
+            plan.values[t] = metric_value(record, self.rule.metric)
+
+    def _decide(self, plan: _CellPlan) -> Optional[_Decision]:
+        """The decision at the largest complete wave boundary, walking the
+        boundary sequence exactly as an uninterrupted run would."""
+        for k in self.rule.boundaries():
+            if any(t not in plan.values for t in range(k)):
+                return None  # prefix incomplete: the wave is still running
+            summary = Summary.of([plan.values[t] for t in range(k)])
+            achieved = summary.rel_ci95
+            if k >= MIN_TRIALS and achieved <= self.rule.target:
+                return _Decision("ci-target", achieved, summary.mean, k)
+            if k >= self.rule.max_trials:
+                return _Decision("max-trials", achieved, summary.mean, k)
+        return None
+
+    def take_decisions(self) -> List[StoppingRecord]:
+        """Decide every cell that is due, returning the fresh stopping
+        records (append them to the store; idempotent across calls)."""
+        fresh = []
+        for plan in self.plans:
+            if plan.decision is None and not plan.recorded:
+                plan.decision = self._decide(plan)
+                if plan.decision is not None:
+                    fresh.append(self._record(plan, plan.decision))
+        return fresh
+
+    def _record(self, plan: _CellPlan, decision: _Decision) -> StoppingRecord:
+        t = plan.template
+        return StoppingRecord(
+            key=f"{plan.cell_key()}/{self.rule.suffix()}",
+            protocol=t.protocol,
+            jammer=t.jammer,
+            n=t.n,
+            budget=t.budget,
+            channels=t.channels,
+            metric=self.rule.metric,
+            target=self.rule.target,
+            achieved=float(decision.achieved),
+            mean=float(decision.mean),
+            trials=decision.trials,
+            reason=decision.reason,
+        )
+
+    def next_wave(self) -> List["TrialSpec"]:
+        """Specs of every trial the next wave needs (empty when all cells
+        are done).  Call :meth:`take_decisions` first so freshly-satisfied
+        cells do not get another wave."""
+        pending = []
+        for plan in self.plans:
+            if plan.decision is not None or plan.recorded:
+                continue
+            # an undecided cell always has an incomplete boundary (a complete
+            # final boundary forces a max-trials decision); the smallest one
+            # is the wave goal
+            goal = next(
+                k
+                for k in self.rule.boundaries()
+                if any(t not in plan.values for t in range(k))
+            )
+            for t in range(goal):
+                if t not in plan.values:
+                    pending.append(dataclasses.replace(plan.template, trial=t))
+        return pending
+
+    def scheduled_keys(self) -> List[str]:
+        """Keys of every trial the campaign actually owns: observed values
+        plus recorded decisions define the per-cell trial counts."""
+        keys = []
+        for plan in self.plans:
+            count = plan.decision.trials if plan.decision else len(plan.values)
+            for t in range(count):
+                keys.append(dataclasses.replace(plan.template, trial=t).key())
+        return keys
+
+    @property
+    def done(self) -> bool:
+        return all(plan.decision is not None or plan.recorded for plan in self.plans)

@@ -1,28 +1,36 @@
 """Parallel trial execution: fan a campaign's trials out across processes.
 
-Two execution paths share one contract — *identical results to a serial
-loop* — because every trial's randomness derives from its spec, never from
-which worker ran it or when:
+Every execution path shares one contract — *identical results to a serial
+loop* — because a trial's randomness derives from its spec, never from which
+worker ran it or when:
 
-* :func:`run_campaign` runs :class:`~repro.exp.spec.CampaignSpec` trials on a
-  ``multiprocessing`` pool.  Trials are picklable specs, rebuilt inside the
-  worker via the name registry, so any start method works.  Results stream
-  back unordered, get appended (and flushed) to the store as they land, and
-  the final record list is re-sorted by trial key — aggregates are
-  byte-identical across worker counts, including ``workers=1``, which runs a
-  plain in-process loop with no multiprocessing at all (the determinism-test
-  fallback).
+* :func:`run_campaign` runs :class:`~repro.exp.spec.CampaignSpec` trials
+  either in-process (``workers=1`` — the determinism-test fallback, lane
+  batched by default) or *sharded* across a ``ProcessPoolExecutor``: pending
+  trials are split into per-cell lane blocks sized by the protocol's
+  advertised ``batch_lane_width``, each worker runs whole blocks through the
+  lane-batched engine and appends the finished records to its own
+  ``<store>.shard-<k>.jsonl`` (single-writer per file, flushed per block),
+  and the parent folds the shards back into the main store with a
+  deterministic key-sorted merge (:func:`repro.exp.shard.merge_shards`).
+  The merged store is row-for-row identical (up to canonical sort and
+  ``wall_time``) to the ``workers=1`` run — ``tests/exp/
+  test_shard_equivalence.py`` pins that across worker counts and backends.
+* Adaptive campaigns (``ci_target`` set) run seed *waves* through the same
+  machinery under :class:`repro.exp.adaptive.AdaptiveController`, recording
+  one stopping decision per cell in the store.
 * :func:`fork_map` parallelizes arbitrary *closures* (the existing
   ``analysis.stats.run_trials`` factories) by staging them in a module global
   before forking, since closures cannot be pickled.  On platforms without
   ``fork`` it silently degrades to a serial map.
 
-SIGINT discipline: workers ignore SIGINT; the parent catches the first one,
-drains nothing, terminates the pool, and raises :class:`CampaignInterrupted`.
-Everything already flushed to the store survives, so re-running the same
-command resumes where the interrupt landed.
-
-See DESIGN.md section 3.2 for the worker-model rationale.
+Crash discipline: workers ignore SIGINT; the parent catches the first one,
+cancels the queued blocks, and raises :class:`CampaignInterrupted` — blocks
+already running finish flushing into their shards.  A worker killed outright
+(SIGKILL, OOM) surfaces as ``BrokenProcessPool``; either way the next
+``run_campaign`` against the same store begins by merging leftover shards, so
+every completed trial is kept exactly once and only genuinely-lost trials
+re-run.  See DESIGN.md section 10.
 """
 
 from __future__ import annotations
@@ -32,12 +40,15 @@ import multiprocessing
 import os
 import signal
 import time
-from typing import Callable, Iterator, List, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.analysis.stats import DEFAULT_LANE_WIDTH
-from repro.core.batch import run_broadcast_batch
+from repro.core.batch import FallbackNotes, collect_fallback_notes, run_broadcast_batch
 from repro.core.result import run_broadcast
-from repro.exp.registry import build_jammer, build_protocol
+from repro.exp.adaptive import AdaptiveController
+from repro.exp.registry import build_jammer, build_protocol, protocol_lane_width
+from repro.exp.shard import merge_shards, shard_path
 from repro.exp.spec import CampaignSpec, TrialSpec
 from repro.exp.store import ResultStore, TrialRecord
 
@@ -164,6 +175,117 @@ def _ignore_sigint() -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
+def _lane_blocks(pending: Sequence[TrialSpec]) -> List[List[TrialSpec]]:
+    """Split pending specs into per-cell lane blocks — the sharded unit of
+    work.  Block size is the protocol's advertised ``batch_lane_width``
+    (:data:`LANE_WIDTH` when it has none), so a worker runs each block in
+    one kernel pass; the split never crosses a cell boundary."""
+    blocks: List[List[TrialSpec]] = []
+    for group in _group_by_cell(pending):
+        first = group[0]
+        width = protocol_lane_width(
+            first.protocol,
+            first.n,
+            T=first.budget,
+            C=first.channels,
+            knobs=first.protocol_knobs,
+            default=LANE_WIDTH,
+        )
+        width = max(1, int(width))
+        for start in range(0, len(group), width):
+            blocks.append(group[start : start + width])
+    return blocks
+
+
+#: Worker-side shard state: the worker's own append handle, opened once by
+#: the pool initializer (single writer per shard file, by construction).
+_SHARD_STATE: dict = {"fh": None}
+
+
+def _shard_worker_init(counter, store_path: Optional[str]) -> None:
+    """Pool initializer: ignore SIGINT (the parent owns interrupts) and — for
+    on-disk stores — claim the next shard index and open its file."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    _SHARD_STATE["fh"] = None
+    if store_path is not None:
+        with counter.get_lock():
+            worker = int(counter.value)
+            counter.value = worker + 1
+        _SHARD_STATE["fh"] = open(shard_path(store_path, worker), "a")
+
+
+def _run_shard_block(specs: List[TrialSpec], backend: str):
+    """Execute one lane block inside a worker; flush it to the worker's
+    shard; return the records plus the block's scalar-fallback tally."""
+    with collect_fallback_notes() as notes:
+        if backend == "scalar":
+            records = [run_trial(spec) for spec in specs]
+        else:
+            records = list(run_trial_batch(specs))
+    fh = _SHARD_STATE["fh"]
+    if fh is not None:
+        for record in records:
+            fh.write(record.to_json_line() + "\n")
+        fh.flush()
+    return records, notes.snapshot()
+
+
+def _execute_sharded(
+    pending: Sequence[TrialSpec],
+    store: ResultStore,
+    *,
+    workers: int,
+    backend: str,
+    record_one: Callable[[TrialRecord], None],
+    notes: FallbackNotes,
+) -> None:
+    """Fan lane blocks across a process pool; fold shards back on success.
+
+    Futures are consumed in submission (canonical) order, so progress,
+    parent-side accounting, and main-store row order are deterministic even
+    though workers complete out of order.  Two writers never share a file:
+    each worker appends to its own shard, and the parent — the main store's
+    only writer — appends each block's records as its future lands.  The
+    closing :func:`merge_shards` therefore normally finds nothing new and
+    just deletes the shards; the shards earn their keep on failure — SIGINT,
+    a worker killed hard (``BrokenProcessPool``), a raising trial — when
+    queued blocks are cancelled, consumed-but-unmerged rows are already in
+    the main store, and completed-but-unconsumed rows wait in the shards for
+    the next run's opening merge."""
+    ctx = multiprocessing.get_context()
+    counter = ctx.Value("i", 0)
+    executor = ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=ctx,
+        initializer=_shard_worker_init,
+        initargs=(counter, store.path),
+    )
+    try:
+        futures = [
+            executor.submit(_run_shard_block, block, backend)
+            for block in _lane_blocks(pending)
+        ]
+        for future in futures:
+            records, counts = future.result()
+            notes.merge(counts)
+            for record in records:
+                record_one(record)
+    except BaseException:
+        executor.shutdown(wait=False, cancel_futures=True)
+        raise
+    executor.shutdown(wait=True)
+    merge_shards(store)
+
+
+def _collect(store: ResultStore, keys: Set[str]) -> List[TrialRecord]:
+    """The campaign's records, key-sorted — or ``[]`` for a non-materialized
+    store, whose whole point is that nobody loads it at once (reduce those
+    with :func:`repro.exp.store.stream_aggregate` instead)."""
+    if not store.materialize:
+        return []
+    return [r for r in store.records() if r.key in keys]
+
+
 def run_campaign(
     campaign: CampaignSpec,
     store: Optional[ResultStore] = None,
@@ -177,34 +299,53 @@ def run_campaign(
     Parameters
     ----------
     campaign:
-        The grid to run.
+        The grid to run.  With ``ci_target`` set the grid is adaptive:
+        ``trials`` becomes the per-wave seed count and each cell stops at
+        its precision target or ``max_trials`` cap
+        (:mod:`repro.exp.adaptive`), with one stopping record per cell
+        appended to the store.
     store:
         Result sink; trials whose key is already in the store are skipped
-        (resumption).  ``None`` uses a throwaway in-memory store.
+        (resumption).  ``None`` uses a throwaway in-memory store.  Leftover
+        shard files from a crashed sharded run are merged in before the
+        skip-set is computed, so nothing completed ever re-runs.
     workers:
         ``0`` -> one per CPU; ``1`` -> in-process serial loop (no
-        multiprocessing, the determinism-test fallback); ``>1`` -> pool.
+        multiprocessing, the determinism-test fallback); ``>1`` -> sharded
+        process pool: per-cell lane blocks, one shard file per worker, a
+        deterministic merge at the end.
     progress:
-        Optional per-completion callback.
+        Optional per-completion callback (for adaptive campaigns ``total``
+        is the work known so far and grows as waves are scheduled).
     backend:
-        How the serial (``workers == 1``) path executes: ``"auto"``
-        (default) and ``"batched"`` run each cell's pending trials through
-        the lane engine (:func:`run_trial_batch`) — the fast path on a
-        single core; ``"scalar"`` keeps the one-trial-at-a-time loop.
-        Multi-worker runs ignore this (each worker runs scalar trials).
-        Aggregates are byte-identical either way; only ``wall_time`` (not
-        aggregated) reflects the execution shape, and the batched path
-        flushes the store once per kernel pass instead of once per trial,
-        so an interrupt can lose up to ``LANE_WIDTH`` in-flight trials.
+        ``"auto"`` (default) and ``"batched"`` run every lane block through
+        the lane engine (:func:`run_trial_batch`) — in-process when
+        ``workers == 1``, inside each worker otherwise, so a sharded run no
+        longer forfeits batching; ``"scalar"`` forces the one-trial-at-a-
+        time loop (same sharding, scalar execution).  Aggregates are
+        byte-identical across every (workers, backend) combination; only
+        ``wall_time`` (not aggregated) reflects the execution shape.  The
+        batched path flushes once per kernel pass instead of once per
+        trial, so an interrupt can lose up to one lane block in flight.
+
+    Scalar-fallback warnings from the batch engine are collected once per
+    campaign (one summary line per cause on stderr), not once per lane pass.
 
     Returns the records of *all* the campaign's trials — freshly run and
     previously stored — sorted by trial key.  Records the store holds for
-    *other* campaigns (stores may be shared) are not returned.
+    *other* campaigns (stores may be shared) are not returned; for a
+    non-materialized store the list is empty by design (stream-aggregate
+    such stores instead of materializing them).
     """
     if backend not in ("auto", "scalar", "batched"):
         raise ValueError(f"unknown backend {backend!r} (auto, scalar, batched)")
     if store is None:
         store = ResultStore(None)
+    merge_shards(store)  # crash leftovers count as completed before anything
+    if campaign.adaptive:
+        return _run_adaptive(
+            campaign, store, workers=workers, progress=progress, backend=backend
+        )
     done_keys = store.completed_keys()
     specs = campaign.trial_specs()
     wanted = {s.key() for s in specs}
@@ -222,38 +363,87 @@ def run_campaign(
         if progress is not None:
             progress(done, total, record)
 
-    if workers == 1 or total == 0:
+    with collect_fallback_notes() as notes:
         try:
-            if backend in ("auto", "batched"):
-                for group in _group_by_cell(pending):
-                    for record in run_trial_batch(group):
-                        record_one(record)
+            if workers == 1 or total == 0:
+                if backend in ("auto", "batched"):
+                    for group in _group_by_cell(pending):
+                        for record in run_trial_batch(group):
+                            record_one(record)
+                else:
+                    for spec in pending:
+                        record_one(run_trial(spec))
             else:
-                for spec in pending:
-                    record_one(run_trial(spec))
+                _execute_sharded(
+                    pending,
+                    store,
+                    workers=workers,
+                    backend=backend,
+                    record_one=record_one,
+                    notes=notes,
+                )
         except KeyboardInterrupt:
             raise CampaignInterrupted(done, total) from None
-        return [r for r in store.records() if r.key in wanted]
+    notes.emit()
+    return _collect(store, wanted)
 
-    # chunksize stays 1: trials run for seconds (IPC cost is noise), and a
-    # bigger chunk would buffer completed results inside workers, breaking
-    # the store's "loses at most the trials in flight" flush promise.
-    ctx = multiprocessing.get_context()
-    pool = ctx.Pool(workers, initializer=_ignore_sigint)
-    try:
-        for record in pool.imap_unordered(run_trial, pending, chunksize=1):
-            record_one(record)
-        pool.close()
-        pool.join()
-    except KeyboardInterrupt:
-        pool.terminate()
-        pool.join()
-        raise CampaignInterrupted(done, total) from None
-    except Exception:
-        pool.terminate()
-        pool.join()
-        raise
-    return [r for r in store.records() if r.key in wanted]
+
+def _run_adaptive(
+    campaign: CampaignSpec,
+    store: ResultStore,
+    *,
+    workers: int,
+    progress: Optional[ProgressCallback],
+    backend: str,
+) -> List[TrialRecord]:
+    """Wave loop of an adaptive campaign: decide, schedule, execute, repeat.
+
+    Each wave's pending specs go through exactly the machinery a fixed
+    campaign uses (serial lane batching or the sharded pool), so adaptive
+    stopping changes *which* trials run, never how any one trial runs."""
+    controller = AdaptiveController(campaign, store)
+    workers = default_workers() if workers == 0 else max(1, int(workers))
+    done = 0
+    total = 0
+
+    def record_one(record: TrialRecord) -> None:
+        nonlocal done
+        store.append(record)
+        controller.observe(record)
+        done += 1
+        if progress is not None:
+            progress(done, total, record)
+
+    with collect_fallback_notes() as notes:
+        try:
+            while True:
+                for decision in controller.take_decisions():
+                    store.append_stopping(decision)
+                wave = controller.next_wave()
+                if not wave:
+                    break
+                total = done + len(wave)
+                if workers == 1:
+                    if backend in ("auto", "batched"):
+                        for group in _group_by_cell(wave):
+                            for record in run_trial_batch(group):
+                                record_one(record)
+                    else:
+                        for spec in wave:
+                            record_one(run_trial(spec))
+                else:
+                    _execute_sharded(
+                        wave,
+                        store,
+                        workers=min(workers, len(wave)),
+                        backend=backend,
+                        record_one=record_one,
+                        notes=notes,
+                    )
+        except KeyboardInterrupt:
+            raise CampaignInterrupted(done, total) from None
+    notes.emit()
+    return _collect(store, set(controller.scheduled_keys()))
 
 
 # -- closure-friendly parallel map ------------------------------------------------

@@ -1,0 +1,93 @@
+"""Per-worker shard stores and their deterministic merge/compact step.
+
+A sharded campaign (``workers > 1`` with an on-disk store) never lets two
+processes write one file: worker ``k`` appends its finished lane blocks to
+``<store>.shard-<k>.jsonl`` — same JSONL dialect as the main store, flushed
+per kernel pass — and only the parent ever touches ``<store>`` itself, via
+:func:`merge_shards`.  That split is the whole crash story:
+
+* a SIGKILLed worker loses at most its in-flight lane block (plus possibly a
+  truncated final line, which readers skip — see
+  :func:`repro.exp.store.iter_jsonl_records`);
+* everything the other workers flushed survives in their shards;
+* the next ``run_campaign`` against the same store begins by merging the
+  leftovers, so the resume skip-set sees every completed trial exactly once.
+
+The merge is deterministic: new records are deduped by trial key — the
+(cell, seed) identity — against the main store *and* each other, sorted by
+key, and appended in that canonical order.  For a fixed completed trial set
+the merged store therefore holds exactly one row per key regardless of which
+worker ran what when, and is row-for-row identical (up to canonical sort and
+``wall_time``) to the ``workers=1`` run — the contract
+``tests/exp/test_shard_equivalence.py`` pins.  See DESIGN.md section 10.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+from typing import List, Union
+
+from repro.exp.store import ResultStore, StoppingRecord, TrialRecord, iter_jsonl_records
+
+__all__ = ["shard_path", "shard_paths", "merge_shards"]
+
+#: ``<store>.shard-<k>.jsonl`` — the per-worker sibling of a campaign store.
+_SHARD_SUFFIX = re.compile(r"\.shard-(\d+)\.jsonl$")
+
+
+def shard_path(store_path: str, worker: int) -> str:
+    """The shard file worker ``worker`` owns for ``store_path``."""
+    return f"{store_path}.shard-{worker}.jsonl"
+
+
+def shard_paths(store_path: str) -> List[str]:
+    """Existing shard files of a store, in worker order (deterministic)."""
+    found = []
+    for path in glob.glob(f"{glob.escape(store_path)}.shard-*.jsonl"):
+        match = _SHARD_SUFFIX.search(path)
+        if match:
+            found.append((int(match.group(1)), path))
+    return [path for _, path in sorted(found)]
+
+
+def merge_shards(store: ResultStore) -> int:
+    """Fold every shard of ``store`` into it, then delete the shard files.
+
+    Records already in the store (by key) are dropped; so are duplicates
+    between shards (first key occurrence wins — and since a key is only ever
+    scheduled on one worker per run, true conflicts cannot carry different
+    payloads).  Survivors are appended in key-sorted order, trial records
+    first, stopping records after (decisions logically follow the trials
+    they judged).  Returns the number of records merged in.  A memory-only
+    store has no shards and merges nothing.
+    """
+    if store.path is None:
+        return 0
+    paths = shard_paths(store.path)
+    if not paths:
+        return 0
+    fresh: List[Union[TrialRecord, StoppingRecord]] = []
+    seen_trials = store.completed_keys()
+    seen_stops = store.stopping_keys()
+    for path in paths:
+        for record in iter_jsonl_records(path):
+            seen = seen_stops if isinstance(record, StoppingRecord) else seen_trials
+            if record.key in seen:
+                continue
+            seen.add(record.key)
+            fresh.append(record)
+    trials = sorted(
+        (r for r in fresh if isinstance(r, TrialRecord)), key=lambda r: r.key
+    )
+    stops = sorted(
+        (r for r in fresh if isinstance(r, StoppingRecord)), key=lambda r: r.key
+    )
+    for record in trials:
+        store.append(record)
+    for record in stops:
+        store.append_stopping(record)
+    for path in paths:
+        os.remove(path)
+    return len(trials) + len(stops)

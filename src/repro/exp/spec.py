@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.exp.registry import canonical_jammer, canonical_protocol
@@ -115,6 +115,14 @@ class CampaignSpec:
     name: str = "campaign"
     protocol_knobs: Dict = field(default_factory=dict)  #: per-protocol-name overrides
     jammer_knobs: Dict = field(default_factory=dict)  #: per-jammer-name overrides
+    #: Adaptive stopping (DESIGN.md section 10.3).  With ``ci_target`` set,
+    #: ``trials`` becomes the seed *wave* size: each cell runs waves until
+    #: the relative 95% CI half-width of ``ci_metric`` reaches the target or
+    #: the cell hits ``max_trials`` (default ``10 * trials``).  ``None``
+    #: keeps the classic fixed-trials grid.
+    ci_target: Optional[float] = None
+    ci_metric: str = "slots"
+    max_trials: Optional[int] = None
 
     def __post_init__(self):
         self.protocols = [canonical_protocol(p) for p in self.protocols]
@@ -130,29 +138,53 @@ class CampaignSpec:
             raise ValueError("campaign needs at least one protocol, jammer, and n")
         if self.trials < 1:
             raise ValueError("campaign needs at least one trial per cell")
+        if self.ci_target is not None and not (float(self.ci_target) > 0):
+            raise ValueError(f"ci_target must be positive, got {self.ci_target!r}")
+        if self.max_trials is not None and self.max_trials < self.trials:
+            raise ValueError(
+                f"max_trials {self.max_trials} is below the wave size {self.trials}"
+            )
 
-    def trial_specs(self) -> List[TrialSpec]:
-        """The campaign's trials in canonical (deterministic) order."""
-        specs = []
+    @property
+    def adaptive(self) -> bool:
+        """Whether this campaign stops on precision rather than trial count."""
+        return self.ci_target is not None
+
+    def resolved_max_trials(self) -> int:
+        """The per-cell seed cap an adaptive run enforces."""
+        return self.max_trials if self.max_trials is not None else 10 * self.trials
+
+    def cell_templates(self) -> List[TrialSpec]:
+        """One trial-0 spec per grid cell, in canonical order — the handle
+        adaptive scheduling extends trial-by-trial (``dataclasses.replace``
+        with a new ``trial`` yields any other trial of the cell)."""
+        templates = []
         for protocol in self.protocols:
             for jammer in self.jammers:
                 for n in self.ns:
-                    for t in range(self.trials):
-                        specs.append(
-                            TrialSpec(
-                                protocol=protocol,
-                                jammer=jammer,
-                                n=int(n),
-                                budget=int(self.budget),
-                                trial=t,
-                                base_seed=int(self.base_seed),
-                                channels=self.channels,
-                                max_slots=int(self.max_slots),
-                                protocol_knobs=dict(self.protocol_knobs.get(protocol, {})),
-                                jammer_knobs=dict(self.jammer_knobs.get(jammer, {})),
-                            )
+                    templates.append(
+                        TrialSpec(
+                            protocol=protocol,
+                            jammer=jammer,
+                            n=int(n),
+                            budget=int(self.budget),
+                            trial=0,
+                            base_seed=int(self.base_seed),
+                            channels=self.channels,
+                            max_slots=int(self.max_slots),
+                            protocol_knobs=dict(self.protocol_knobs.get(protocol, {})),
+                            jammer_knobs=dict(self.jammer_knobs.get(jammer, {})),
                         )
-        return specs
+                    )
+        return templates
+
+    def trial_specs(self) -> List[TrialSpec]:
+        """The campaign's trials in canonical (deterministic) order."""
+        return [
+            replace(template, trial=t)
+            for template in self.cell_templates()
+            for t in range(self.trials)
+        ]
 
     def __len__(self) -> int:
         return len(self.protocols) * len(self.jammers) * len(self.ns) * self.trials

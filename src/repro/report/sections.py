@@ -13,6 +13,7 @@ the bijection), :data:`FIGURES` maps committed figure paths to builders.
 
 from __future__ import annotations
 
+import re
 from typing import Callable, Dict, List
 
 import numpy as np
@@ -393,6 +394,64 @@ def sec_limited_adv(bundle: RecordBundle) -> str:
     )
 
 
+# -- section 12: adaptive stopping (precision-targeted seed waves) ----------------
+
+#: The stopping rule as embedded in a StoppingRecord key by
+#: :meth:`repro.exp.adaptive.StoppingRule.suffix`.
+_STOP_RULE = re.compile(r"stop\[(\w+)<=([^/\]]+)/w(\d+)/m(\d+)\]$")
+
+
+def sec_adaptive(bundle: RecordBundle) -> str:
+    stops = sorted(
+        bundle.stopping("adaptive"), key=lambda s: (s.protocol, s.jammer, s.n)
+    )
+    if not stops:
+        raise ReportError("adaptive store has no stopping records")
+    match = _STOP_RULE.search(stops[0].key)
+    if match is None:
+        raise ReportError(f"unparsable stopping key {stops[0].key!r}")
+    metric, target, wave, cap = (
+        match.group(1),
+        float(match.group(2)),
+        int(match.group(3)),
+        int(match.group(4)),
+    )
+    cells = {(c.protocol, c.jammer, c.n): c for c in bundle.cells("adaptive")}
+    rows = []
+    for s in stops:
+        cell = cells.get((s.protocol, s.jammer, s.n))
+        if cell is None or cell.trials != s.trials:
+            raise ReportError(
+                f"adaptive trial rows disagree with the stopping decision {s.key!r}"
+            )
+        rows.append(
+            [
+                s.protocol,
+                s.jammer,
+                s.trials,
+                fmt_pm(cell.summary(metric)),
+                f"{s.achieved:.3g}",
+                s.reason,
+            ]
+        )
+    spent = sum(s.trials for s in stops)
+    fixed = cap * len(stops)
+    return "\n\n".join(
+        [
+            _fence(
+                render_table(
+                    ["protocol", "jammer", "trials", metric, "achieved", "stopped on"],
+                    rows,
+                )
+            ),
+            f"{spent} trials where the fixed-cap grid runs {fixed} "
+            f"({1 - spent / fixed:.0%} saved): per cell, waves of {wave} seeds "
+            f"until the relative 95% CI half-width of `{metric}` reaches "
+            f"{target:g} or the cap of {cap} does.",
+        ]
+    )
+
+
 #: Region name -> renderer; must match the markers in EXPERIMENTS.md exactly.
 SECTIONS: Dict[str, Callable[[RecordBundle], str]] = {
     "gallery": sec_gallery,
@@ -404,6 +463,7 @@ SECTIONS: Dict[str, Callable[[RecordBundle], str]] = {
     "core_scaling": sec_core_scaling,
     "adv_unjammed": sec_adv_unjammed,
     "limited_adv": sec_limited_adv,
+    "adaptive": sec_adaptive,
 }
 
 

@@ -14,7 +14,13 @@ from typing import Dict, List
 
 from repro.analysis.stats import Summary
 from repro.exp.registry import ADV_KNOBS
-from repro.exp.store import CellStats, ResultStore, TrialRecord, aggregate
+from repro.exp.store import (
+    CellStats,
+    ResultStore,
+    StoppingRecord,
+    TrialRecord,
+    aggregate,
+)
 
 __all__ = ["ADV_ALPHA", "FIXED_T", "ReportError", "RecordBundle", "fmt_pm", "fmt_g"]
 
@@ -37,6 +43,7 @@ class RecordBundle:
         self.root = os.path.abspath(root)
         self._cells: Dict[str, List[CellStats]] = {}
         self._records: Dict[str, List[TrialRecord]] = {}
+        self._stopping: Dict[str, List[StoppingRecord]] = {}
         self._bench: Dict[str, dict] = {}
 
     def _store_path(self, name: str) -> str:
@@ -53,6 +60,18 @@ class RecordBundle:
                 )
             self._records[name] = ResultStore(path).records()
         return self._records[name]
+
+    def stopping(self, name: str) -> List[StoppingRecord]:
+        """An adaptive campaign's per-cell stopping decisions, sorted by key."""
+        if name not in self._stopping:
+            path = self._store_path(name)
+            if not os.path.exists(path):
+                raise ReportError(
+                    f"missing store {os.path.relpath(path, self.root)} — "
+                    "run experiments/run_all.sh first"
+                )
+            self._stopping[name] = ResultStore(path).stopping_records()
+        return self._stopping[name]
 
     def cells(self, name: str) -> List[CellStats]:
         """Per-cell aggregates of one campaign store (deterministic order)."""

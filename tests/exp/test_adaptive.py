@@ -1,0 +1,314 @@
+"""Adaptive stopping: synthetic streams, determinism, resume, CLI smoke.
+
+The scheduler's contract (DESIGN.md section 10.3): each cell runs seed waves
+until the relative 95% CI half-width of the target metric reaches
+``ci_target`` or the cell hits ``max_trials``; decisions are taken only on
+complete trial prefixes at wave boundaries, so the trial set — and the
+recorded stopping decision — is a pure function of the spec, interrupted or
+not.  Synthetic value streams pin the decision logic without running trials;
+the e2e tests run real (tiny) campaigns through ``run_campaign`` and the CLI.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exp import (
+    CampaignSpec,
+    ResultStore,
+    StoppingRule,
+    AdaptiveController,
+    run_campaign,
+)
+from repro.exp.adaptive import MIN_TRIALS
+from repro.exp.store import TrialRecord
+
+
+def adaptive_campaign(**overrides):
+    kwargs = dict(
+        protocols=["multicast"],
+        jammers=["blanket"],
+        ns=[16],
+        budget=4000,
+        trials=2,
+        base_seed=11,
+        ci_target=0.25,
+        ci_metric="max_cost",
+        max_trials=8,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def synthetic_record(spec, **metrics):
+    """A TrialRecord for ``spec`` with chosen metric values (defaults inert)."""
+    values = dict(
+        success=True,
+        slots=100,
+        max_cost=10,
+        mean_cost=5.0,
+        adversary_spend=50,
+        dissemination_slot=90,
+        halted_uninformed=0,
+        periods=3,
+    )
+    values.update(metrics)
+    return TrialRecord(
+        key=spec.key(),
+        protocol=spec.protocol,
+        jammer=spec.jammer,
+        n=spec.n,
+        budget=spec.budget,
+        trial=spec.trial,
+        channels=spec.channels,
+        **values,
+    )
+
+
+def feed(controller, campaign, values, metric="max_cost"):
+    """Observe one synthetic trial per value, in trial order, for the (single)
+    cell of ``campaign``."""
+    (template,) = campaign.cell_templates()
+    for t, value in enumerate(values):
+        spec = dataclasses.replace(template, trial=t)
+        controller.observe(synthetic_record(spec, **{metric: value}))
+
+
+class TestStoppingRule:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown ci metric"):
+            StoppingRule(metric="nope", target=0.1, wave=2, max_trials=4)
+        with pytest.raises(ValueError, match="positive"):
+            StoppingRule(metric="slots", target=0.0, wave=2, max_trials=4)
+        with pytest.raises(ValueError, match="below the wave size"):
+            StoppingRule(metric="slots", target=0.1, wave=4, max_trials=2)
+
+    def test_boundaries_are_wave_multiples_capped(self):
+        rule = StoppingRule(metric="slots", target=0.1, wave=3, max_trials=10)
+        assert rule.boundaries() == [3, 6, 9, 10]
+        exact = StoppingRule(metric="slots", target=0.1, wave=5, max_trials=10)
+        assert exact.boundaries() == [5, 10]
+
+    def test_spec_validation_mirrors_the_rule(self):
+        with pytest.raises(ValueError, match="ci_target"):
+            adaptive_campaign(ci_target=-1.0)
+        with pytest.raises(ValueError, match="below the wave size"):
+            adaptive_campaign(trials=4, max_trials=2)
+        assert adaptive_campaign(max_trials=None).resolved_max_trials() == 20
+
+    def test_suffix_embeds_the_whole_rule(self):
+        a = StoppingRule(metric="slots", target=0.1, wave=2, max_trials=8)
+        b = StoppingRule(metric="slots", target=0.2, wave=2, max_trials=8)
+        c = StoppingRule(metric="slots", target=0.1, wave=2, max_trials=6)
+        assert len({a.suffix(), b.suffix(), c.suffix()}) == 3
+
+
+class TestDecisions:
+    def test_tight_stream_stops_at_first_eligible_boundary(self):
+        campaign = adaptive_campaign(trials=2, max_trials=8)
+        controller = AdaptiveController(campaign, ResultStore(None))
+        feed(controller, campaign, [10, 10])  # constant -> ci95 = 0
+        (decision,) = controller.take_decisions()
+        assert decision.reason == "ci-target"
+        assert decision.trials == 2
+        assert decision.achieved == 0.0
+        assert controller.done
+        assert controller.next_wave() == []
+
+    def test_min_trials_guard_blocks_single_trial_stops(self):
+        # wave size 1: the k=1 boundary has ci95 = 0 by construction and
+        # must NOT satisfy the target; the earliest legal stop is k=2
+        campaign = adaptive_campaign(trials=1, max_trials=8)
+        controller = AdaptiveController(campaign, ResultStore(None))
+        feed(controller, campaign, [10])
+        assert controller.take_decisions() == []
+        assert len(controller.next_wave()) == 1  # schedule trial 1
+        feed(controller, campaign, [10, 10])
+        (decision,) = controller.take_decisions()
+        assert decision.trials == MIN_TRIALS == 2
+
+    def test_noisy_stream_runs_to_the_cap(self):
+        campaign = adaptive_campaign(trials=2, max_trials=6, ci_target=0.01)
+        controller = AdaptiveController(campaign, ResultStore(None))
+        values = [1, 100, 2, 200, 3, 300]
+        for stop in (2, 4):
+            feed(controller, campaign, values[:stop])
+            assert controller.take_decisions() == []
+            assert len(controller.next_wave()) == 2
+        feed(controller, campaign, values)
+        (decision,) = controller.take_decisions()
+        assert decision.reason == "max-trials"
+        assert decision.trials == 6
+        assert decision.achieved > 0.01
+
+    def test_nan_metric_never_satisfies_the_target(self):
+        # dissemination_slot is None on failed trials -> NaN half-width;
+        # precision must never be declared on an undefined metric
+        campaign = adaptive_campaign(
+            trials=2, max_trials=4, ci_metric="dissemination_slot", ci_target=10.0
+        )
+        controller = AdaptiveController(campaign, ResultStore(None))
+        (template,) = campaign.cell_templates()
+        for t in range(4):
+            spec = dataclasses.replace(template, trial=t)
+            controller.observe(
+                synthetic_record(spec, success=False, dissemination_slot=None)
+            )
+        (decision,) = controller.take_decisions()
+        assert decision.reason == "max-trials"
+
+    def test_incomplete_prefix_defers_the_decision(self):
+        # only trial 1 observed: the k=2 boundary is incomplete (trial 0
+        # missing), so no decision and the wave re-schedules the hole
+        campaign = adaptive_campaign(trials=2, max_trials=8)
+        controller = AdaptiveController(campaign, ResultStore(None))
+        (template,) = campaign.cell_templates()
+        controller.observe(synthetic_record(dataclasses.replace(template, trial=1)))
+        assert controller.take_decisions() == []
+        wave = controller.next_wave()
+        assert [s.trial for s in wave] == [0]
+
+    def test_recorded_decision_is_trusted_only_under_the_same_rule(self):
+        campaign = adaptive_campaign(trials=2, max_trials=8)
+        store = ResultStore(None)
+        controller = AdaptiveController(campaign, store)
+        feed(controller, campaign, [10, 10])
+        (decision,) = controller.take_decisions()
+        store.append_stopping(decision)
+
+        # same rule: the cell arrives already-stopped, nothing to run
+        again = AdaptiveController(campaign, store)
+        assert again.done
+        assert again.take_decisions() == []
+
+        # tighter target: the stale decision must not be trusted
+        tighter = AdaptiveController(
+            dataclasses.replace(campaign, ci_target=0.001), store
+        )
+        assert not tighter.done
+
+
+class TestAdaptiveCampaigns:
+    def test_spends_fewer_trials_than_the_fixed_equivalent(self):
+        campaign = adaptive_campaign(
+            protocols=["multicast", "core"], jammers=["blanket", "sweep"],
+            ci_target=0.5, trials=2, max_trials=8,
+        )
+        store = ResultStore(None)
+        records = run_campaign(campaign, store, workers=1)
+        stops = store.stopping_records()
+        assert len(stops) == 4  # one decision per cell
+        fixed_equivalent = len(campaign.protocols) * len(campaign.jammers) * 8
+        assert len(records) < fixed_equivalent
+        for stop in stops:
+            if stop.reason == "ci-target":
+                assert stop.achieved <= campaign.ci_target
+                assert stop.trials >= MIN_TRIALS
+
+    def test_adaptive_rerun_is_deterministic(self, tmp_path):
+        campaign = adaptive_campaign(ci_target=0.3, trials=2, max_trials=6)
+        paths = [str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")]
+        for path in paths:
+            with ResultStore(path) as store:
+                run_campaign(campaign, store, workers=1)
+
+        def rows(path):
+            out = []
+            with open(path) as fh:
+                for line in fh:
+                    data = json.loads(line)
+                    data.pop("wall_time", None)
+                    out.append(data)
+            return out
+
+        assert rows(paths[0]) == rows(paths[1])
+
+    def test_adaptive_trials_are_a_prefix_of_the_fixed_run(self):
+        campaign = adaptive_campaign(ci_target=0.3, trials=2, max_trials=6)
+        adaptive_records = run_campaign(campaign, ResultStore(None), workers=1)
+        count = len(adaptive_records)
+        fixed = dataclasses.replace(
+            campaign, ci_target=None, max_trials=None, trials=count
+        )
+        fixed_records = run_campaign(fixed, ResultStore(None), workers=1)
+
+        def strip(records):
+            rows = []
+            for r in sorted(records, key=lambda r: r.key):
+                d = dict(r.__dict__)
+                d.pop("wall_time")
+                rows.append(d)
+            return rows
+
+        assert strip(adaptive_records) == strip(fixed_records)
+
+    def test_adaptive_resume_completes_interrupted_store(self, tmp_path):
+        campaign = adaptive_campaign(ci_target=0.3, trials=2, max_trials=6)
+        full = str(tmp_path / "full.jsonl")
+        with ResultStore(full) as store:
+            run_campaign(campaign, store, workers=1)
+        full_lines = open(full).read().splitlines()
+
+        partial = str(tmp_path / "partial.jsonl")
+        trial_lines = [l for l in full_lines if '"kind"' not in l]
+        with open(partial, "w") as fh:
+            fh.write("\n".join(trial_lines[:1]) + "\n")
+        with ResultStore(partial) as store:
+            run_campaign(campaign, store, workers=1)
+        partial_lines = open(partial).read().splitlines()
+
+        def canonical(lines):
+            rows = []
+            for line in lines:
+                data = json.loads(line)
+                data.pop("wall_time", None)
+                rows.append(data)
+            return sorted(rows, key=lambda d: d["key"])
+
+        assert canonical(partial_lines) == canonical(full_lines)
+
+
+class TestCliSmoke:
+    def test_sweep_ci_target_flag(self, tmp_path, capsys):
+        store = str(tmp_path / "adaptive.jsonl")
+        code = main(
+            [
+                "sweep",
+                "--protocols", "multicast",
+                "--jammers", "blanket",
+                "--n", "16",
+                "--budget", "4000",
+                "--trials", "2",
+                "--ci-target", "0.5",
+                "--ci-metric", "max_cost",
+                "--max-trials", "8",
+                "--workers", "1",
+                "--quiet",
+                "--store", store,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptive stopping" in out
+        assert "target 0.5 on max_cost" in out
+        lines = [json.loads(l) for l in open(store).read().splitlines()]
+        stops = [l for l in lines if l.get("kind") == "stopping"]
+        assert len(stops) == 1
+        assert stops[0]["reason"] in ("ci-target", "max-trials")
+
+    def test_bad_ci_target_exits_with_message(self, tmp_path):
+        with pytest.raises(SystemExit, match="ci_target"):
+            main(
+                [
+                    "sweep",
+                    "--protocols", "multicast",
+                    "--jammers", "blanket",
+                    "--n", "16",
+                    "--trials", "2",
+                    "--ci-target", "-0.5",
+                    "--workers", "1",
+                    "--quiet",
+                ]
+            )

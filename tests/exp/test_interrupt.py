@@ -1,5 +1,15 @@
-"""End-to-end interrupt/resume: SIGINT a live `repro sweep`, then resume it."""
+"""End-to-end crash/resume: interrupt or kill a live `repro sweep`, resume it.
 
+Two failure modes, one recovery story:
+
+* SIGINT (operator ^C) — the parent converts it to a clean exit 130 with the
+  store resumable;
+* SIGKILL of a *worker* mid-shard — the pool breaks, the CLI exits 1, and
+  the completed lane blocks survive in the worker shard files; the resume
+  run merges them and finishes with every (cell, seed) exactly once.
+"""
+
+import json
 import os
 import signal
 import subprocess
@@ -64,3 +74,81 @@ def test_sigint_leaves_resumable_store(tmp_path):
     final = _lines(store)
     assert len(final) == TRIALS
     assert final[: len(interrupted)] == interrupted, "resume must append, not rewrite"
+
+
+def _worker_pids(parent_pid):
+    """Direct children of ``parent_pid`` that are pool workers (via /proc;
+    the multiprocessing resource tracker is a child too and must not count —
+    killing it would not break the pool)."""
+    workers = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/stat", "rb") as fh:
+                fields = fh.read().split(b") ", 1)[1].split()
+            if int(fields[1]) != parent_pid:
+                continue
+            with open(f"/proc/{entry}/cmdline", "rb") as fh:
+                cmdline = fh.read()
+        except (OSError, IndexError, ValueError):
+            continue
+        if b"resource_tracker" in cmdline or b"semaphore_tracker" in cmdline:
+            continue
+        workers.append(int(entry))
+    return sorted(workers)
+
+
+def _shard_lines(store):
+    lines = []
+    for name in os.listdir(os.path.dirname(store)):
+        if ".shard-" in name:
+            lines.extend(_lines(os.path.join(os.path.dirname(store), name)))
+    return lines
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/proc"), reason="worker discovery needs procfs"
+)
+def test_sigkilled_worker_leaves_recoverable_shards(tmp_path):
+    store = str(tmp_path / "campaign.jsonl")
+    cmd = [sys.executable, *CMD_TAIL, "--store", store]
+    proc = subprocess.Popen(
+        cmd, env=_env(), stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True
+    )
+    try:
+        # wait until at least one lane block is flushed somewhere (shard or
+        # merged into the main store) and the workers are up, then kill one
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if proc.poll() is not None:
+                pytest.fail(f"sweep exited early with {proc.returncode}")
+            if (_lines(store) or _shard_lines(store)) and len(_worker_pids(proc.pid)) >= 2:
+                break
+            time.sleep(0.05)
+        victims = _worker_pids(proc.pid)
+        assert len(victims) >= 2, "pool workers never appeared"
+        os.kill(victims[0], signal.SIGKILL)
+        _, stderr = proc.communicate(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert proc.returncode == 1, stderr
+    assert "worker process died" in stderr
+
+    # everything flushed before the kill survives: main store rows plus the
+    # dead-and-live workers' shard files
+    survivors = _lines(store) + _shard_lines(store)
+    assert survivors, "no completed trial survived the kill"
+    assert len(survivors) < TRIALS, "kill should leave a partial campaign"
+
+    # the resume run merges the shards, re-runs only what was lost, and ends
+    # with every (cell, seed) exactly once
+    done = subprocess.run(cmd, env=_env(), capture_output=True, text=True, timeout=300)
+    assert done.returncode == 0, done.stderr
+    keys = [json.loads(line)["key"] for line in _lines(store)]
+    assert len(keys) == TRIALS
+    assert len(set(keys)) == TRIALS, "a (cell, seed) ran twice"
+    expected = {f"multicast/blanket/n64/T150000/s0/t{t}" for t in range(TRIALS)}
+    assert set(keys) == expected
+    assert _shard_lines(store) == [], "resume must consume the shard files"
