@@ -29,6 +29,10 @@ run channels_C16 channels
 # oblivious vs adaptive (EXPERIMENTS.md section 8); reactive cells run on
 # the arena runtime — single-process is fine, they are seconds per trial
 WORKERS=1 run arena arena
+# the windowed reactive ladder (EXPERIMENTS.md section 8b): latency >= 1
+# cells run lane-batched on the block-stepped arena driver and reproduce
+# the slot-stepped section-8 rows byte for byte
+WORKERS=1 run arena_windowed arena_windowed
 # Thm 4.4 grid (EXPERIMENTS.md section 9)
 run core_scaling_T25000 core_scaling
 run core_scaling_T100000 core_scaling

@@ -93,6 +93,94 @@ class ReactiveJammer(ABC):
         budget-clipped by the caller.
         """
 
+    # -- window interface (block-stepped arena) --------------------------------
+    @property
+    def window_latency(self) -> Optional[int]:
+        """Sensing latency in slots, or ``None`` when the jammer cannot be
+        window-stepped.
+
+        A value ``L >= 1`` promises that :meth:`react` depends only on busy
+        masks at least ``L`` slots old, so the windowed arena driver
+        (:mod:`repro.arena.window`) may resolve whole blocks of slots and
+        query :meth:`jam_window` with externally-reconstructed targets.
+        ``L == 0`` (within-slot sensing) forces slot stepping; ``None``
+        (the base default) marks a strategy whose sensing the driver cannot
+        reconstruct, which also forces slot stepping."""
+        return None
+
+    def checkpoint(self):
+        """Snapshot (rng state, spent) for speculative window execution."""
+        return (self.rng.bit_generator.state, self._spent)
+
+    def restore(self, state) -> None:
+        """Rewind to a :meth:`checkpoint` snapshot (exact rollback)."""
+        rng_state, spent = state
+        self.rng.bit_generator.state = rng_state
+        self._spent = spent
+
+    def jam_window(
+        self, slot0: int, targets: np.ndarray, valid: np.ndarray
+    ) -> np.ndarray:
+        """Jam a window of ``W`` slots in one call, draw-for-draw identical
+        to ``W`` consecutive :meth:`jam_slot` calls.
+
+        ``targets[t]`` is the busy mask the strategy would aim at in slot
+        ``slot0 + t`` (the caller reconstructs it from committed history for
+        the first ``window_latency`` rows and from in-window busy masks
+        after that); ``valid[t]`` is False for rows where the sensed
+        snapshot does not exist or has a mismatched channel count — those
+        rows jam nothing and consume no randomness, exactly like the
+        per-slot warm-up/mismatch paths.
+
+        Per-slot RNG parity, row by row in slot order: a row with exhausted
+        budget, ``valid=False``, ``k == 0`` or ``hot == 0`` draws nothing;
+        a row with ``0 < hot <= k`` jams the whole target without drawing;
+        a row with ``hot > k`` consumes exactly one ``rng.choice``.  The
+        budget is spent in row order and the first row that cannot be fully
+        afforded is clipped to its first ``remaining`` hot channels in
+        ascending channel order — matching :meth:`jam_slot`'s clip."""
+        targets = np.asarray(targets, dtype=bool)
+        valid = np.asarray(valid, dtype=bool)
+        W, C = targets.shape
+        masks = np.zeros((W, C), dtype=bool)
+        k = int(getattr(self, "k", 0))
+        if W == 0 or k == 0:
+            return masks
+        hot = np.where(valid, targets.sum(axis=1), 0)
+        nominal = np.minimum(hot, k)
+        if self.budget is None:
+            cut = W
+            entry_budget = 0
+        else:
+            remaining = self.budget - self._spent
+            if remaining <= 0:
+                return masks
+            cum = np.cumsum(nominal)
+            # rows [0, cut) fit the budget whole; row ``cut`` (if any) is
+            # the per-slot path's partially-clipped slot.
+            cut = int((cum <= remaining).sum())
+            entry_budget = int(remaining - (cum[cut - 1] if cut else 0))
+        easy = (hot[:cut] > 0) & (hot[:cut] <= k)
+        masks[:cut][easy] = targets[:cut][easy]
+        for t in np.nonzero(hot[:cut] > k)[0]:
+            pick = self.rng.choice(np.nonzero(targets[t])[0], size=k, replace=False)
+            masks[t, pick] = True
+        spend = int(nominal[:cut].sum())
+        if cut < W and entry_budget > 0:
+            t = cut
+            if hot[t] <= k:
+                row = targets[t].copy()
+            else:
+                pick = self.rng.choice(np.nonzero(targets[t])[0], size=k, replace=False)
+                row = np.zeros(C, dtype=bool)
+                row[pick] = True
+            pos = np.nonzero(row)[0]
+            row[pos[entry_budget:]] = False
+            masks[t] = row
+            spend += int(row.sum())
+        self._spent += spend
+        return masks
+
     # -- runtime entry point -----------------------------------------------------
     def jam_slot(self, slot: int, busy: np.ndarray) -> np.ndarray:
         """Budget-enforced per-slot jamming (runs every slot of an arena
@@ -125,6 +213,10 @@ class SniperJammer(ReactiveJammer):
         if k < 0:
             raise ValueError("k must be non-negative")
         self.k = int(k)
+
+    @property
+    def window_latency(self) -> Optional[int]:
+        return 0  # within-slot sensing: slot stepping is the only sound mode
 
     def react(self, slot: int, busy: np.ndarray) -> np.ndarray:
         return _jam_k_of(self.rng, busy, busy, self.k)
@@ -160,6 +252,10 @@ class TrailingJammer(ReactiveJammer):
             raise ValueError("k must be non-negative")
         self.k = int(k)
         self._last_busy: Optional[np.ndarray] = None
+
+    @property
+    def window_latency(self) -> Optional[int]:
+        return 1
 
     def reset(self) -> None:
         super().reset()
@@ -201,6 +297,10 @@ class ReactiveLatencyJammer(ReactiveJammer):
         self.latency = int(latency)
         self.k = int(k)
         self._history: List[np.ndarray] = []
+
+    @property
+    def window_latency(self) -> Optional[int]:
+        return self.latency
 
     def reset(self) -> None:
         super().reset()

@@ -35,10 +35,17 @@ from repro.arena.columns import (
     MultiCastCoreColumns,
     NaiveColumns,
 )
-from repro.arena.network import ArenaNetwork, resolve_columns
-from repro.arena.run import lift_protocol, run_broadcast_adaptive, supports_protocol
+from repro.arena.network import ArenaLanes, ArenaNetwork, resolve_columns
+from repro.arena.run import (
+    lift_protocol,
+    run_broadcast_adaptive,
+    run_broadcast_windowed_batch,
+    supports_protocol,
+)
+from repro.arena.window import WINDOW_CAP, run_windowed, windowable_adversary
 
 __all__ = [
+    "ArenaLanes",
     "ArenaNetwork",
     "ColumnProtocol",
     "DecayColumns",
@@ -47,8 +54,12 @@ __all__ = [
     "MultiCastColumns",
     "MultiCastCoreColumns",
     "NaiveColumns",
+    "WINDOW_CAP",
     "lift_protocol",
     "resolve_columns",
     "run_broadcast_adaptive",
+    "run_broadcast_windowed_batch",
+    "run_windowed",
     "supports_protocol",
+    "windowable_adversary",
 ]

@@ -67,6 +67,9 @@ from repro.sim.channel import (
 )
 from repro.sim.rng import RandomFabric
 
+#: shared empty event list for the all-informed absorb short-circuit
+_NO_EVENTS = np.empty(0, dtype=np.int64)
+
 __all__ = [
     "ColumnProtocol",
     "MultiCastCoreColumns",
@@ -100,6 +103,10 @@ class ColumnProtocol(ABC):
     #: False lets the network kernel skip the beacon/message payload split
     #: (only Fig. 4's step II ever sends beacons).
     emits_beacons = True
+    #: True once the adapter implements :meth:`begin_window` /
+    #: :meth:`absorb_window` (all shipped adapters do); the windowed driver
+    #: (:mod:`repro.arena.window`) falls back to slot stepping otherwise.
+    supports_windows = False
 
     @abstractmethod
     def current_channels(self) -> int:
@@ -121,6 +128,36 @@ class ColumnProtocol(ABC):
     @abstractmethod
     def end_slot(self, slot: int, feedback: np.ndarray) -> None:
         """Absorb the slot's ``(n,)`` feedback column."""
+
+    # -- window interface (block-stepped driver) --------------------------------
+    def begin_window(self, slot: int, limit: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(channels, actions)`` matrices for up to ``limit`` slots.
+
+        The returned matrices are ``(W, n)`` with ``1 <= W <= limit``; the
+        adapter clips ``W`` to its own schedule boundaries (chunk / step /
+        round / block ends) so no draw block ever straddles a boundary and
+        window-sized RNG consumption equals per-slot consumption (the
+        ``PeriodDraws`` discipline, extended to windows).  Channels beyond
+        row ``W - 1`` of a caller's budget are simply not served — the
+        driver re-windows.  Actions in the matrix are *speculative*: they
+        assume no informing event inside the window.  The driver resolves
+        the whole window, hands the feedback to :meth:`absorb_window`, and
+        the adapter commits only the prefix up to (and including) the first
+        action-changing event."""
+        raise NotImplementedError
+
+    def absorb_window(self, slot: int, feedback: np.ndarray) -> int:
+        """Absorb a prefix of the window's ``(W, n)`` feedback.
+
+        Returns ``A``, the number of slots committed (``1 <= A <= W``): all
+        of ``W`` when no action-changing event occurred, else through the
+        first event (the event row itself is committed — its feedback was
+        computed from actions fixed before the event).  Rows past ``A`` are
+        discarded; the driver re-serves them (with patched actions) in the
+        next window.  Committing must be state-identical to ``A`` per-slot
+        ``begin_slot``/``end_slot`` rounds, including boundary bookkeeping
+        when the committed prefix ends an iteration/step/round/block."""
+        raise NotImplementedError
 
     @property
     @abstractmethod
@@ -228,19 +265,62 @@ class _SharedCoinColumns(ColumnProtocol):
         self._local += 1
         self.t += 1
         if self.t == self.R:  # end of iteration
-            halt_now = ~self.halted & (self.noisy < self.threshold)
-            self.halted |= halt_now
-            self.halt_slot[halt_now] = slot + 1
-            self.noisy[:] = 0
-            self.t = 0
-            self.periods += 1
-            self._advance_period()
-            if self.max_periods is not None and self.periods >= self.max_periods:
-                self.capped = True
-            if self.capped or self.halted.all():
-                self._done = True
-            else:
-                self._start_period()
+            self._end_iteration(slot)
+
+    def _end_iteration(self, last_slot: int) -> None:
+        """Iteration-boundary bookkeeping; ``last_slot`` is the iteration's
+        final slot (halts are stamped one past it, like the scalar oracle)."""
+        halt_now = ~self.halted & (self.noisy < self.threshold)
+        self.halted |= halt_now
+        self.halt_slot[halt_now] = last_slot + 1
+        self.noisy[:] = 0
+        self.t = 0
+        self.periods += 1
+        self._advance_period()
+        if self.max_periods is not None and self.periods >= self.max_periods:
+            self.capped = True
+        if self.capped or self.halted.all():
+            self._done = True
+        else:
+            self._start_period()
+
+    # -- window interface -------------------------------------------------------
+    supports_windows = True
+
+    def begin_window(self, slot: int, limit: int) -> Tuple[np.ndarray, np.ndarray]:
+        if self._local == self._ch.shape[1]:
+            self._chunk_base += self._ch.shape[1]
+            self._local = 0
+            self._load_chunk()
+        lo = self._local
+        W = min(int(limit), self._ch.shape[1] - lo)
+        return self._ch[:, lo:lo + W].T, self._act[:, lo:lo + W].T
+
+    def absorb_window(self, slot: int, feedback: np.ndarray) -> int:
+        W = feedback.shape[0]
+        if self.informed.all():
+            events = _NO_EVENTS  # nobody left to inform: no truncation
+        else:
+            hear = (feedback == FB_MSG) & ~self.informed[None, :]
+            events = np.nonzero(hear.any(axis=1))[0]
+        A = int(events[0]) + 1 if events.size else W
+        self.noisy += (feedback[:A] == FB_NOISE).sum(axis=0, dtype=np.int64)
+        if events.size:
+            heard = hear[A - 1]
+            self.informed |= heard
+            self.informed_slot[heard] = slot + A - 1
+            lo = self._local + A
+            if lo < self._coin.shape[1]:
+                for u in np.nonzero(heard)[0]:
+                    tail = self._act[u, lo:]
+                    hits = self._coin[u, lo:] == 2
+                    tail[hits] = ACT_SEND_MSG
+                    self._send_cols[lo:] |= hits
+        self._local += A
+        self.t += A
+        if self.t == self.R:
+            self._end_iteration(slot + A - 1)
+        return A
 
     @property
     def done(self) -> bool:
@@ -342,6 +422,10 @@ class MultiCastAdvColumns(ColumnProtocol):
         self.capped = False
         self._done = False
         self.name = proto.name + "[arena]"
+        # drawn-but-uncommitted window rows (see begin_window): always within
+        # the current step, empty at every step boundary
+        self._pend_ch: Optional[np.ndarray] = None
+        self._pend_coin: Optional[np.ndarray] = None
         self._start_step()
 
     @property
@@ -402,6 +486,10 @@ class MultiCastAdvColumns(ColumnProtocol):
         self.t += 1
         if self.t < self.R:
             return
+        self._end_step(slot)
+
+    def _end_step(self, slot: int) -> None:
+        """Step-boundary bookkeeping; ``slot`` is the step's final slot."""
         self.t = 0
         if self.step == 1:
             self.step = 2
@@ -452,6 +540,78 @@ class MultiCastAdvColumns(ColumnProtocol):
             self._done = True
         else:
             self._start_step()
+
+    # -- window interface -------------------------------------------------------
+    supports_windows = True
+
+    def _draw_rows(self, count: int) -> None:
+        """Draw ``count`` window rows, preserving the scalar node's per-slot
+        per-node stream order exactly (channel then coin, node by node,
+        slot-major) — batching per node would reorder each node's own
+        stream, which the committed w.h.p. seeds pin."""
+        n, C = self.n, self.C
+        ch = np.zeros((count, n), dtype=np.int64)
+        coin = np.full((count, n), 2.0, dtype=np.float64)
+        live = np.nonzero(self.status != STATUS_HALT)[0]
+        rngs = self.rngs
+        for w in range(count):
+            ch_row = ch[w]
+            coin_row = coin[w]
+            for u in live:
+                rng = rngs[u]
+                ch_row[u] = rng.integers(0, C)
+                coin_row[u] = rng.random()
+        self._pend_ch = ch
+        self._pend_coin = coin
+
+    def _window_actions(self, coin: np.ndarray) -> np.ndarray:
+        un = (self.status == STATUS_UN)[None, :]
+        actions = np.zeros(coin.shape, dtype=np.int8)
+        p = self.p
+        if self.step == 1:
+            hit = coin < p  # halted nodes hold coin 2.0 — never hit
+            actions[hit & un] = ACT_LISTEN
+            actions[hit & ~un] = ACT_SEND_MSG
+        else:
+            actions[coin < p] = ACT_LISTEN
+            send = (coin >= p) & (coin < 2 * p)
+            actions[send & un] = ACT_SEND_BEACON
+            actions[send & ~un] = ACT_SEND_MSG
+        return actions
+
+    def begin_window(self, slot: int, limit: int) -> Tuple[np.ndarray, np.ndarray]:
+        limit = min(int(limit), self.R - self.t)
+        if self._pend_coin is None or self._pend_coin.shape[0] == 0:
+            self._draw_rows(limit)
+        W = min(limit, self._pend_coin.shape[0])
+        return self._pend_ch[:W], self._window_actions(self._pend_coin[:W])
+
+    def absorb_window(self, slot: int, feedback: np.ndarray) -> int:
+        W = feedback.shape[0]
+        if self.step == 1:
+            promote = (feedback == FB_MSG) & (self.status == STATUS_UN)[None, :]
+            events = np.nonzero(promote.any(axis=1))[0]
+            A = int(events[0]) + 1 if events.size else W
+            if events.size:
+                hit = promote[A - 1]
+                self.status[hit] = STATUS_IN
+                self.informed_slot[hit] = slot + A - 1
+        else:
+            # step II reads its counters only at the step boundary — no
+            # in-window action changes, the whole window commits
+            A = W
+            self.n_m += (feedback == FB_MSG).sum(axis=0, dtype=np.int64)
+            self.n_mb += ((feedback == FB_MSG) | (feedback == FB_BEACON)).sum(
+                axis=0, dtype=np.int64
+            )
+            self.n_n += (feedback == FB_NOISE).sum(axis=0, dtype=np.int64)
+            self.n_s += (feedback == FB_SILENCE).sum(axis=0, dtype=np.int64)
+        self._pend_ch = self._pend_ch[A:]
+        self._pend_coin = self._pend_coin[A:]
+        self.t += A
+        if self.t == self.R:
+            self._end_step(slot + A - 1)
+        return A
 
     @property
     def done(self) -> bool:
@@ -544,6 +704,44 @@ class DecayColumns(ColumnProtocol):
             if self.epochs_run < self.proto.epochs:
                 self._load_round()
 
+    # -- window interface -------------------------------------------------------
+    supports_windows = True
+
+    def begin_window(self, slot: int, limit: int) -> Tuple[np.ndarray, np.ndarray]:
+        lo = self.t
+        W = min(int(limit), self.L - lo)
+        return (
+            np.broadcast_to(self._zero_channels, (W, self.n)),
+            self._act[lo:lo + W],
+        )
+
+    def absorb_window(self, slot: int, feedback: np.ndarray) -> int:
+        W = feedback.shape[0]
+        if self.informed.all():
+            events = _NO_EVENTS  # nobody left to inform: no truncation
+        else:
+            hear = (feedback == FB_MSG) & ~self.informed[None, :]
+            events = np.nonzero(hear.any(axis=1))[0]
+        A = int(events[0]) + 1 if events.size else W
+        if events.size:
+            heard = hear[A - 1]
+            self.informed |= heard
+            self.informed_slot[heard] = slot + A - 1
+            lo = self.t + A
+            if lo < self.L:
+                for u in np.nonzero(heard)[0]:
+                    col = self._act[lo:, u]
+                    sends = self._coins[lo:, u] < 1.0
+                    col[:] = np.where(sends, ACT_SEND_MSG, np.int8(0))
+                    self._send_rows[lo:] |= sends
+        self.t += A
+        if self.t == self.L:
+            self.t = 0
+            self.epochs_run += 1
+            if self.epochs_run < self.proto.epochs:
+                self._load_round()
+        return A
+
     @property
     def done(self) -> bool:
         return self.epochs_run >= self.proto.epochs
@@ -632,17 +830,50 @@ class NaiveColumns(ColumnProtocol):
         self._bt += 1
         if self._bt < self._K:
             return
+        self._end_block(slot)
+
+    def _end_block(self, last_slot: int) -> None:
+        """Block-boundary bookkeeping; ``last_slot`` is the block's final slot."""
         self.blocks += 1
         if self.informed.all():
             if self._linger_left is None:
-                overshoot = (slot + 1) - int(self.informed_slot.max())
+                overshoot = (last_slot + 1) - int(self.informed_slot.max())
                 self._linger_left = max(0, self.proto.linger - overshoot)
             else:
                 self._linger_left -= self._K
             if self._linger_left <= 0:
                 self._done = True
                 return
-        self._begin_block(slot + 1)
+        self._begin_block(last_slot + 1)
+
+    # -- window interface -------------------------------------------------------
+    supports_windows = True
+
+    def begin_window(self, slot: int, limit: int) -> Tuple[np.ndarray, np.ndarray]:
+        lo = self._bt
+        W = min(int(limit), self._K - lo)
+        return (
+            self._channels[lo:lo + W],
+            np.broadcast_to(self._act_row, (W, self.n)),
+        )
+
+    def absorb_window(self, slot: int, feedback: np.ndarray) -> int:
+        W = feedback.shape[0]
+        if self.informed.all():
+            events = _NO_EVENTS  # nobody left to inform: no truncation
+        else:
+            hear = (feedback == FB_MSG) & ~self.informed[None, :]
+            events = np.nonzero(hear.any(axis=1))[0]
+        A = int(events[0]) + 1 if events.size else W
+        if events.size:
+            heard = hear[A - 1]
+            self.informed |= heard
+            self.informed_slot[heard] = slot + A - 1
+            self._refresh_actions()
+        self._bt += A
+        if self._bt == self._K:
+            self._end_block(slot + A - 1)
+        return A
 
     @property
     def done(self) -> bool:
@@ -715,6 +946,12 @@ class MultiCastCColumns(ColumnProtocol):
         K = min(self.proto.block_slots, self._remaining)
         self._vch = self.rng.integers(0, self.C_virt, size=(K, self.n), dtype=np.int32)
         self._vcoin = self.rng.random((K, self.n))
+        # coin thresholds are fixed for the iteration: classify the whole
+        # block once so window expansion touches bools, not floats
+        self._vlisten = self._vcoin < self.p
+        self._vsendish = ~self._vlisten & (self._vcoin < 2 * self.p)
+        self._vphys = self._vch % self.C_phys
+        self._vsub = self._vch // self.C_phys
         self._K = K
         self._r = 0  # virtual row within the block
         self._round_actions()
@@ -723,14 +960,12 @@ class MultiCastCColumns(ColumnProtocol):
         """Fix the round's virtual actions from the current informed set —
         the shared-coin rule of :func:`repro.core.runner.shared_coin_actions` —
         and expand them into one action column per physical sub-slot."""
-        coin = self._vcoin[self._r]
         vact = np.zeros(self.n, dtype=np.int8)
-        vact[(coin < self.p) & self.active] = ACT_LISTEN
-        send = (coin >= self.p) & (coin < 2 * self.p) & self.informed & self.active
+        vact[self._vlisten[self._r] & self.active] = ACT_LISTEN
+        send = self._vsendish[self._r] & self.informed & self.active
         vact[send] = ACT_SEND_MSG
-        vch = self._vch[self._r].astype(np.int64)
-        self._phys_ch = vch % self.C_phys
-        subslot = vch // self.C_phys
+        self._phys_ch = self._vphys[self._r].astype(np.int64)
+        subslot = self._vsub[self._r].astype(np.int64)
         # (S, n): sub-slot q's column holds each node's action iff it acts in q
         self._sub_acts = np.where(
             subslot[None, :] == self._subslot_ids, vact[None, :], np.int8(0)
@@ -773,10 +1008,14 @@ class MultiCastCColumns(ColumnProtocol):
         if self._remaining > 0:
             self._load_block()
             return
-        # end of iteration
+        self._end_iteration(slot)
+
+    def _end_iteration(self, last_slot: int) -> None:
+        """Iteration-boundary bookkeeping; ``last_slot`` is the iteration's
+        final physical slot."""
         halt_now = self.active & (self.noisy < self.threshold)
         self.halted_uninformed += int((halt_now & ~self.informed).sum())
-        self.halt_slot[halt_now] = slot + 1
+        self.halt_slot[halt_now] = last_slot + 1
         self.active &= ~halt_now
         self.noisy[:] = 0
         self.iterations_run += 1
@@ -790,6 +1029,95 @@ class MultiCastCColumns(ColumnProtocol):
             self._done = True
         else:
             self._start_iteration()
+
+    # -- window interface -------------------------------------------------------
+    supports_windows = True
+
+    def begin_window(self, slot: int, limit: int) -> Tuple[np.ndarray, np.ndarray]:
+        limit = int(limit)
+        S, n = self.S, self.n
+        q0 = self._q
+        self._win_q0 = q0
+        head = S - q0  # physical slots left in the already-expanded round
+        first_act = self._sub_acts[q0:]
+        rounds_left = self._K - self._r - 1
+        extra = min((limit - head) // S, rounds_left) if limit > head else 0
+        if extra <= 0:
+            W = min(limit, head)
+            return np.broadcast_to(self._phys_ch, (W, n)), first_act[:W]
+        # expand further whole rounds of the loaded block from the virtual
+        # draw matrices — speculative on the current informed/active sets
+        rr = slice(self._r + 1, self._r + 1 + extra)
+        vact = np.zeros((extra, n), dtype=np.int8)
+        vact[self._vlisten[rr] & self.active[None, :]] = ACT_LISTEN
+        send = (
+            self._vsendish[rr] & self.informed[None, :] & self.active[None, :]
+        )
+        vact[send] = ACT_SEND_MSG
+        phys = self._vphys[rr]
+        sub = self._vsub[rr]
+        # scatter each node's action into its sub-slot row: O(extra * n)
+        # writes instead of an (extra, S, n) comparison grid
+        acts3 = np.zeros((extra, self.S, n), dtype=np.int8)
+        acts3[np.arange(extra)[:, None], sub, np.arange(n)[None, :]] = vact
+        channels = np.concatenate(
+            [np.broadcast_to(self._phys_ch, (head, n)), np.repeat(phys, S, axis=0)]
+        )
+        actions = np.concatenate([first_act, acts3.reshape(extra * S, n)])
+        return channels, actions
+
+    def absorb_window(self, slot: int, feedback: np.ndarray) -> int:
+        W = feedback.shape[0]
+        S = self.S
+        q0 = self._win_q0
+        head = S - q0
+        if self.informed.all():
+            events = _NO_EVENTS  # nobody left to inform: no truncation
+        else:
+            hear = (feedback == FB_MSG) & ~self.informed[None, :]
+            events = np.nonzero(hear.any(axis=1))[0]
+        if events.size:
+            t_star = int(events[0])
+            # absorb through the end of the event's round: round actions are
+            # fixed at round entry (virtual-slot semantics), so later rows of
+            # the same round stay valid; later *rounds* must be re-expanded
+            rs = -q0 if t_star < head else head + ((t_star - head) // S) * S
+            A = min(W, rs + S)
+            heard = hear[max(rs, 0):A].any(axis=0)
+            self.informed |= heard
+            # the hearing is attributed to the round's first physical slot,
+            # exactly like end_slot's ``slot - self._q``
+            self.informed_slot[heard] = slot + rs
+        else:
+            A = W
+        self.noisy += (feedback[:A] == FB_NOISE).sum(axis=0, dtype=np.int64)
+        # positional advance, replaying the per-slot boundary cascade
+        left = A
+        stale = False
+        while left > 0:
+            take = min(left, S - self._q)
+            self._q += take
+            left -= take
+            if self._q < S:
+                break
+            self._q = 0
+            self._r += 1
+            self._remaining -= 1
+            if self._r < self._K:
+                # the cached round expansion is one round behind now; rebuild
+                # it once, after the loop (intermediate rounds were already
+                # served speculatively and commit as-is — no event hit them)
+                stale = True
+                continue
+            if self._remaining > 0:
+                self._load_block()
+                stale = False
+                continue
+            self._end_iteration(slot + A - 1)
+            stale = False
+        if stale and not self._done:
+            self._round_actions()
+        return A
 
     @property
     def done(self) -> bool:

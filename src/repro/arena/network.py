@@ -48,7 +48,7 @@ from repro.sim.channel import (
 from repro.sim.jam import JamBlock
 from repro.sim.metrics import EnergyLedger
 
-__all__ = ["ArenaNetwork", "resolve_columns"]
+__all__ = ["ArenaLanes", "ArenaNetwork", "resolve_columns"]
 
 
 def resolve_columns(
@@ -230,3 +230,80 @@ class ArenaNetwork:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ArenaNetwork(n={self.n}, clock={self.clock}, adversary={self.adversary!r})"
+
+
+class _LaneNet:
+    """One lane's network-shaped facade over :class:`ArenaLanes` books.
+
+    Exposes exactly the surface :meth:`ColumnProtocol.result
+    <repro.arena.columns.ColumnProtocol.result>` reads from
+    :class:`ArenaNetwork` — ``clock``, ``overrun`` and the lane's
+    :class:`~repro.sim.metrics.EnergyLedger` — so adapters assemble lane
+    results without knowing they ran batched."""
+
+    __slots__ = ("n", "energy", "_lanes", "_lane")
+
+    def __init__(self, lanes: "ArenaLanes", lane: int):
+        self.n = lanes.n
+        self.energy = lanes.energy[lane]
+        self._lanes = lanes
+        self._lane = lane
+
+    @property
+    def clock(self) -> int:
+        return self.energy.slots
+
+    @property
+    def overrun(self) -> bool:
+        return bool(self._lanes.overrun[self._lane])
+
+
+class ArenaLanes:
+    """Trial-lane axis for the arena: ``B`` concurrent single-trial runs.
+
+    Mirrors :class:`repro.sim.engine.BatchNetwork`'s lane bookkeeping in
+    arena terms — per-lane adversary, per-lane
+    :class:`~repro.sim.metrics.EnergyLedger` (so lane books are bit-identical
+    to ``B`` independent :class:`ArenaNetwork` runs), per-lane clock and
+    overrun flag, with finished lanes simply dropping out of the driver's
+    live set.  The windowed driver (:mod:`repro.arena.window`) stacks all
+    live lanes' window rows into one :func:`repro.sim.channel.resolve_block`
+    call per pass; this class only keeps the books."""
+
+    def __init__(self, n: int, adversaries, *, max_slots: int = 50_000_000):
+        if n < 2:
+            raise ValueError("broadcast needs at least two nodes")
+        self.n = int(n)
+        self.adversaries = list(adversaries)
+        self.B = len(self.adversaries)
+        if self.B == 0:
+            raise ValueError("need at least one lane")
+        self.max_slots = int(max_slots)
+        self.energy = [EnergyLedger(self.n) for _ in range(self.B)]
+        self.overrun = np.zeros(self.B, dtype=bool)
+
+    def clock(self, lane: int) -> int:
+        """Index of the lane's next unsimulated slot."""
+        return self.energy[lane].slots
+
+    def commit(
+        self,
+        lane: int,
+        listen_counts: np.ndarray,
+        send_counts: np.ndarray,
+        jam_spend: int,
+        slots: int,
+    ) -> None:
+        """Charge one lane's books for a committed window prefix."""
+        ledger = self.energy[lane]
+        ledger.charge_adversary(jam_spend)
+        ledger.charge_nodes(listen_counts, send_counts)
+        ledger.advance(slots)
+
+    def view(self, lane: int) -> _LaneNet:
+        """The lane's network facade for :meth:`ColumnProtocol.result`."""
+        return _LaneNet(self, lane)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        clocks = [ledger.slots for ledger in self.energy]
+        return f"ArenaLanes(n={self.n}, B={self.B}, clocks={clocks})"

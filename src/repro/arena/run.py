@@ -7,9 +7,26 @@ workers, stores and tables treat adaptive runs exactly like oblivious ones.
 :func:`repro.core.result.run_broadcast` itself dispatches here whenever the
 adversary is reactive, which is what carries the adversary-model axis
 through ``run_trials`` / ``CampaignSpec`` / ``repro sweep`` end to end.
+
+Two execution backends share that entry point (``backend=``):
+
+* ``"slot"`` — the original per-slot loop over :class:`ArenaNetwork`: one
+  adversary query and one single-slot kernel pass per slot.  The oracle.
+* ``"window"`` — the block-stepped driver of :mod:`repro.arena.window`:
+  sound whenever the adversary senses with latency >= 1 (or there is no
+  adversary), bit-identical to ``"slot"`` and ~an order of magnitude
+  faster.  ``"auto"`` (the default) picks it exactly then; a reactive
+  jammer that *requires* slot stepping (within-slot sensing, or no window
+  interface) falls back with a once-per-campaign
+  :class:`~repro.core.batch.FallbackNotes` entry.
+
+:func:`run_broadcast_windowed_batch` is the lane-batched form behind
+:func:`repro.core.batch.run_broadcast_batch`'s reactive routing.
 """
 
 from __future__ import annotations
+
+from typing import List, Optional, Sequence
 
 from repro.arena.columns import (
     ColumnProtocol,
@@ -29,7 +46,12 @@ from repro.core.multicast_adv import MultiCastAdv
 from repro.core.multicast_core import MultiCastCore
 from repro.core.result import BroadcastResult
 
-__all__ = ["lift_protocol", "run_broadcast_adaptive", "supports_protocol"]
+__all__ = [
+    "lift_protocol",
+    "run_broadcast_adaptive",
+    "run_broadcast_windowed_batch",
+    "supports_protocol",
+]
 
 #: Adapter dispatch table, most-derived type first (``MultiCastC`` — which
 #: also covers ``SingleChannelCompetitive`` — before ``MultiCast``).
@@ -64,6 +86,24 @@ def lift_protocol(protocol, n: int, seed: int) -> ColumnProtocol:
     )
 
 
+def _note_slot_fallback(adversary, latency) -> None:
+    """Record (once per campaign, via the active collector) that a reactive
+    adversary forced slot stepping — mirrors ``run_broadcast_batch``'s
+    scalar-fallback notes, so ``repro sweep`` surfaces the backend choice
+    instead of silently running 10x slower."""
+    from repro.core import batch as _batch
+
+    if _batch._FALLBACK_NOTES is None:
+        return
+    if latency == 0:
+        reason = "senses within its own slot (latency 0) — windowing unsound"
+    else:
+        reason = "has no window-sensing interface"
+    _batch._FALLBACK_NOTES.add(
+        f"arena[{type(adversary).__name__}]", reason, 1
+    )
+
+
 def run_broadcast_adaptive(
     protocol,
     n: int,
@@ -71,17 +111,55 @@ def run_broadcast_adaptive(
     *,
     seed: int = 0,
     max_slots: int = 50_000_000,
+    backend: str = "auto",
+    window_cap: Optional[int] = None,
 ) -> BroadcastResult:
     """Run one execution on the arena runtime and return the result.
 
     ``adversary`` may be ``None``, any oblivious jammer, or any reactive
-    jammer — the arena hosts all three behind one slot-stepped loop, so a
-    study can put oblivious and adaptive cells in the same table.  Reaching
+    jammer — the arena hosts all three behind one entry point, so a study
+    can put oblivious and adaptive cells in the same table.  Reaching
     ``max_slots`` truncates the run (``completed`` False, overrun recorded
     in ``extras`` where the adapter keeps one) instead of raising, mirroring
     the batched engine's per-lane overrun handling.
+
+    ``backend`` selects the execution path (see the module docstring):
+    ``"auto"`` window-steps whenever that is sound, ``"slot"`` forces the
+    per-slot oracle, ``"window"`` demands window stepping and raises when
+    the adversary cannot be window-stepped (oblivious jammers and latency-0
+    reactive jammers).  Either way ``extras["backend"]`` records the path
+    actually taken.  ``window_cap`` overrides the windowed driver's
+    speculative width ceiling (tests sweep it; leave ``None`` for the
+    default).
     """
+    if backend not in ("auto", "slot", "window"):
+        raise ValueError(f"unknown arena backend {backend!r}")
     columns = lift_protocol(protocol, n, seed)
+    reactive = adversary is not None and hasattr(adversary, "jam_slot")
+    latency = getattr(adversary, "window_latency", None)
+    windowable = columns.supports_windows and (
+        adversary is None or (reactive and latency is not None and latency >= 1)
+    )
+    if backend == "window" and not windowable:
+        raise ValueError(
+            "backend='window' needs a window-capable adapter and either no "
+            "adversary or a reactive jammer with window_latency >= 1"
+        )
+    if backend == "auto" and windowable:
+        backend = "window"
+    if backend == "window":
+        from repro.arena.window import WINDOW_CAP, run_windowed
+
+        result = run_windowed(
+            [columns],
+            [adversary],
+            max_slots=max_slots,
+            window_cap=WINDOW_CAP if window_cap is None else window_cap,
+        )[0]
+        result.extras["backend"] = "arena-window"
+        return result
+    if reactive and not windowable:
+        _note_slot_fallback(adversary, latency)
     if adversary is not None:
         adversary.reset()
     net = ArenaNetwork(n, adversary, max_slots=max_slots)
@@ -102,4 +180,36 @@ def run_broadcast_adaptive(
         )
         columns.end_slot(clock, feedback)
         clock += 1
-    return columns.result(net)
+    result = columns.result(net)
+    result.extras["backend"] = "arena-slot"
+    return result
+
+
+def run_broadcast_windowed_batch(
+    protocol,
+    n: int,
+    adversaries: Sequence[Optional[object]],
+    seeds: Sequence[int],
+    *,
+    max_slots: int = 50_000_000,
+) -> List[BroadcastResult]:
+    """Window-step a lane batch of trials of one protocol in lockstep.
+
+    The lane-batched arena entry behind
+    :func:`repro.core.batch.run_broadcast_batch`: lane ``b`` runs
+    ``(seed=seeds[b], adversary=adversaries[b])`` and is bit-identical to
+    ``run_broadcast_adaptive(protocol, n, adversaries[b], seed=seeds[b])``
+    — same trial seeds, same draws, same books — so batched campaigns match
+    scalar ones byte for byte.  Every adversary must pass
+    :func:`repro.arena.window.windowable_adversary` (callers route latency-0
+    lanes to the slot path instead).
+    """
+    if len(adversaries) != len(seeds):
+        raise ValueError("need one adversary entry per seed")
+    from repro.arena.window import run_windowed
+
+    columns = [lift_protocol(protocol, n, seed) for seed in seeds]
+    results = run_windowed(columns, list(adversaries), max_slots=max_slots)
+    for result in results:
+        result.extras["backend"] = "arena-window"
+    return results

@@ -141,9 +141,18 @@ def cmd_arena(args) -> int:
                 f"protocol {args.protocol!r} has no arena column adapter"
             )
         adv = make_jammer(name, args.budget, seed=args.seed + 1, n=args.n)
-        r = run_broadcast_adaptive(
-            proto, args.n, adversary=adv, seed=args.seed, max_slots=args.max_slots
-        )
+        try:
+            r = run_broadcast_adaptive(
+                proto,
+                args.n,
+                adversary=adv,
+                seed=args.seed,
+                max_slots=args.max_slots,
+                backend=args.backend,
+            )
+        except ValueError as exc:
+            # backend=window with a jammer that must slot-step (e.g. sniper)
+            raise SystemExit(f"jammer {name!r}: {exc}")
         rows.append(
             [
                 name,
@@ -152,11 +161,12 @@ def cmd_arena(args) -> int:
                 r.adversary_spend,
                 r.max_cost,
                 r.halted_uninformed,
+                r.extras.get("backend", "?").replace("arena-", ""),
             ]
         )
     print(
         render_table(
-            ["jammer", "ok", "slots", "Eve spend", "max cost", "bad halts"],
+            ["jammer", "ok", "slots", "Eve spend", "max cost", "bad halts", "backend"],
             rows,
             title=(
                 f"{args.protocol} (n={args.n}) on the adaptive arena, "
@@ -415,6 +425,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--jammers",
         default=ARENA_JAMMERS,
         help=f"comma-separated jammer names (default {ARENA_JAMMERS})",
+    )
+    p_ar.add_argument(
+        "--backend",
+        choices=("auto", "slot", "window"),
+        default="auto",
+        help="arena execution path: auto window-steps latency >= 1 jammers "
+        "(bit-identical, ~10x faster), slot forces the per-slot oracle, "
+        "window refuses jammers that need slot stepping",
     )
     p_ar.set_defaults(fn=cmd_arena)
 

@@ -474,6 +474,21 @@ def run_broadcast_batch(
         raise ValueError(
             f"{len(adversaries)} adversaries for {len(seeds)} seeds (need one per lane)"
         )
+    if adversaries and all(
+        adversary is not None
+        and hasattr(adversary, "jam_slot")
+        and (getattr(adversary, "window_latency", None) or 0) >= 1
+        for adversary in adversaries
+    ):
+        # an all-reactive batch whose every jammer senses with latency >= 1:
+        # the arena's windowed lane driver hosts the whole batch in lockstep
+        # (bit-identical to the per-lane arena dispatch below, ~10x faster)
+        from repro.arena.run import run_broadcast_windowed_batch, supports_protocol
+
+        if supports_protocol(protocol):
+            return run_broadcast_windowed_batch(
+                protocol, n, adversaries, seeds, max_slots=max_slots
+            )
     has_run_batch = hasattr(protocol, "run_batch")
     if not has_run_batch or any(
         hasattr(adversary, "jam_slot") for adversary in adversaries

@@ -259,6 +259,65 @@ def sec_arena(bundle: RecordBundle) -> str:
     )
 
 
+#: Ladder order for the windowed-arena campaign: the latency-0 negative
+#: control plus every window-steppable rung.
+_ARENA_WINDOWED_LADDER = (
+    ("sniper", "0 (in-slot)", "slot (fallback)"),
+    ("trailing", "1", "windowed"),
+    ("reactive:1", "1", "windowed"),
+    ("reactive:2", "2", "windowed"),
+    ("reactive:4", "4", "windowed"),
+)
+
+
+def sec_arena_windowed(bundle: RecordBundle) -> str:
+    cells = {c.jammer: c for c in bundle.cells("arena_windowed")}
+    rows = []
+    for jammer, latency, backend in _ARENA_WINDOWED_LADDER:
+        if jammer not in cells:
+            raise ReportError(f"arena_windowed store has no {jammer!r} cell")
+        c = cells[jammer]
+        rows.append(
+            [
+                f"`{jammer}`",
+                latency,
+                backend,
+                f"{c.success_rate:.0%}",
+                fmt_pm(c.summary("slots")),
+                f"{c.summary('adversary_spend').mean:.3g}",
+                _ratio(c),
+            ]
+        )
+    table = render_markdown_table(
+        ["jammer", "sensing latency", "backend", "ok", "slots", "Eve spend", "cost/T"],
+        rows,
+    )
+    bench = bundle.bench("arena_windowed")
+    try:
+        ladders = []
+        for label, key in (
+            ("`multicast_c` (C=4)", "test_window_ladder_multicast_c"),
+            ("`multicast`", "test_window_ladder_multicast"),
+        ):
+            rungs = bench["results"][key]
+            speedups = ", ".join(
+                f"L={latency} {rungs[f'latency_{latency}']['speedup']:.1f}x"
+                for latency in (1, 2, 4, 8)
+            )
+            ladders.append(f"{label}: {speedups}")
+    except KeyError as exc:
+        raise ReportError(
+            f"BENCH_arena_windowed.json is missing the expected key {exc}"
+        ) from None
+    return "\n\n".join(
+        [
+            table,
+            "Windowed vs. slot-stepped arena, bit-identical results (committed "
+            "`benchmarks/BENCH_arena_windowed.json`): " + "; ".join(ladders) + ".",
+        ]
+    )
+
+
 # -- section 9: MultiCastCore across T and n (Theorem 4.4) ------------------------
 
 
@@ -460,6 +519,7 @@ SECTIONS: Dict[str, Callable[[RecordBundle], str]] = {
     "budget": sec_budget,
     "engine": sec_engine,
     "arena": sec_arena,
+    "arena_windowed": sec_arena_windowed,
     "core_scaling": sec_core_scaling,
     "adv_unjammed": sec_adv_unjammed,
     "limited_adv": sec_limited_adv,

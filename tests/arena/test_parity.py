@@ -74,7 +74,11 @@ def assert_parity(scalar, arena, context, *, compare_extras=False):
         )
     if compare_extras:
         assert scalar.protocol == arena.protocol, context
-        assert scalar.extras == arena.extras, context
+        # the arena stamps which execution path ran — a runtime annotation
+        # the oracle result cannot carry, excluded from the exact comparison
+        extras = dict(arena.extras)
+        assert extras.pop("backend") in ("arena-slot", "arena-window"), context
+        assert scalar.extras == extras, context
 
 
 @pytest.mark.parametrize("jammer", sorted(JAMMERS))

@@ -294,8 +294,8 @@ class TestDispatcher:
     def test_mixed_reactive_batch_stamps_the_scalar_lanes(self, capsys):
         """A reactive adversary anywhere in the batch forces the per-lane
         loop; the *oblivious* lanes then run the scalar block engine and
-        must be stamped/warned, while the reactive lane (vectorized arena
-        by design) is not."""
+        must be stamped/warned, while the reactive lane carries the arena's
+        own backend stamp (windowed here: trailing is latency 1)."""
         from repro.adversary.reactive import TrailingJammer
 
         reactive = TrailingJammer(500, k=2, seed=1)
@@ -303,7 +303,7 @@ class TestDispatcher:
         results = run_broadcast_batch(
             MultiCast(N), N, [reactive, oblivious], [1, 2]
         )
-        assert "backend" not in results[0].extras
+        assert results[0].extras["backend"] == "arena-window"
         assert results[1].extras["backend"] == "scalar-fallback"
         err = capsys.readouterr().err
         assert "mixed reactive/oblivious batch" in err
