@@ -72,20 +72,33 @@ def test_arena_vs_scalar_runtime(benchmark, bench_json):
         return figures
 
     figures = run_once(benchmark, experiment)
-    headline = figures["none"]["speedup"]
+    # the unjammed row is the headline (pure runtime-vs-runtime) and carries
+    # the regression floor; jammed rows sit lower (third-party jammer work)
+    # and get a proportionally looser floor
+    recorded = {
+        name: bench_json.record_speedup(
+            name,
+            baseline_s=f["scalar_s"],
+            fast_s=f["arena_s"],
+            floor=3.0 if name == "none" else 1.5,
+            slots=f["slots"],
+            slots_per_s_arena=f["slots_per_s_arena"],
+        )
+        for name, f in figures.items()
+    }
     bench_json.record(
         config={"protocol": "multicast", "n": n, "a": a, "budget": budget, "seed": seed},
-        headline_speedup=headline,
-        **figures,
+        headline_speedup=recorded["none"]["speedup"],
     )
     print(
         f"\n  [EXP-ARENA] arena vs scalar (multicast, n={n}): "
-        + ", ".join(f"{k}: {v['speedup']}x" for k, v in figures.items())
+        + ", ".join(f"{k}: {v['speedup']}x" for k, v in recorded.items())
     )
     # headline acceptance lives in the committed full-scale BENCH_arena.json
-    # (>= 10x on the reference box); this floor only guards against gross
+    # (>= 10x on the reference box); these floors only guard against gross
     # regressions without flaking a loaded CI runner
-    assert headline > 3.0, figures
+    for name, f in recorded.items():
+        assert f["speedup"] > f["floor"], (name, f)
 
 
 @pytest.mark.benchmark(group="EXP-ARENA latency ladder")

@@ -72,6 +72,27 @@ class BenchRecorder:
         test's entry in the module's BENCH_<name>.json."""
         self.payload.update(fields)
 
+    def record_speedup(
+        self, case: str, *, baseline_s: float, fast_s: float, floor: float, **extra
+    ) -> dict:
+        """Record one baseline-vs-fast comparison in the unified speedup
+        schema that ``repro obs --check-bench`` validates:
+        ``results[<test>]["speedups"][<case>]`` with ``baseline_s``,
+        ``fast_s``, the derived ``speedup``, and the bench's own loose
+        ``floor`` (the scale-robust bound it also asserts in-test).  Extra
+        keyword figures (throughputs, success rates) ride along unvalidated.
+        Returns the entry so the caller can assert on the same numbers it
+        recorded."""
+        entry = {
+            "baseline_s": round(float(baseline_s), 3),
+            "fast_s": round(float(fast_s), 3),
+            "speedup": round(float(baseline_s) / float(fast_s), 2),
+            "floor": float(floor),
+            **extra,
+        }
+        self.payload.setdefault("speedups", {})[case] = entry
+        return entry
+
 
 def _bench_name(module_path: Path) -> str:
     name = module_path.stem
@@ -90,6 +111,7 @@ def _merge_result(module_path: Path, test_name: str, payload: dict) -> None:
         data = json.loads(path.read_text())
     else:
         data = {"bench": _bench_name(module_path), "results": {}}
+    data["schema"] = 1  # repro.obs.bench.SCHEMA_VERSION — the check-bench contract
     data["updated"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
     data["smoke"] = smoke_mode()
     data["results"][test_name] = payload

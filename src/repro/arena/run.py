@@ -92,7 +92,11 @@ def _note_slot_fallback(adversary, latency) -> None:
     scalar-fallback notes, so ``repro sweep`` surfaces the backend choice
     instead of silently running 10x slower."""
     from repro.core import batch as _batch
+    from repro.obs.recorder import active as _obs_active
 
+    tel = _obs_active()
+    if tel is not None:
+        tel.count("arena.slot_fallbacks")
     if _batch._FALLBACK_NOTES is None:
         return
     if latency == 0:

@@ -40,12 +40,14 @@ discipline.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.arena.columns import ColumnProtocol
+from repro.obs.recorder import active as _obs_active
 from repro.arena.network import ArenaLanes
 from repro.core.result import BroadcastResult
 from repro.sim.channel import (
@@ -133,6 +135,7 @@ def run_windowed(
     want = [min(WINDOW_MIN, cap)] * B  # adaptive per-lane speculative width
     any_beacons = any(cols.emits_beacons for cols in columns)
     live = list(range(B))
+    tel = _obs_active()
     while live:
         # -- propose one window per live lane --------------------------------
         entries = []
@@ -148,6 +151,8 @@ def run_windowed(
         if not entries:
             break
         # -- one lane-stacked kernel pass ------------------------------------
+        if tel is not None:
+            t0 = time.perf_counter()
         widths = [e[4].shape[0] for e in entries]
         rows = sum(widths)
         C_max = max(e[2] for e in entries)
@@ -195,6 +200,8 @@ def run_windowed(
                 ckpt = adv.checkpoint()
                 jam[off:off + W, :C] = adv.jam_window(clock, targets, valid)
                 specs.append((ckpt, targets, valid))
+                if tel is not None:
+                    tel.count("window.adv_queries")
             off += W
         if not any_beacons:
             # inline no-beacon resolution (same rules as _resolve_dense with
@@ -216,6 +223,10 @@ def run_windowed(
             feedback = _resolve_dense(channels, actions, jam)
         else:
             feedback = resolve_block(channels, actions, jam)
+        if tel is not None:
+            tel.add_time("window.kernel_s", time.perf_counter() - t0)
+            tel.count("window.passes")
+            tel.observe("window.occupancy", len(entries))
         # -- commit per-lane prefixes ----------------------------------------
         next_live = []
         off = 0
@@ -225,6 +236,13 @@ def run_windowed(
             A = cols.absorb_window(clock, feedback[off:off + W])
             want[b] = min(want[b] * 2, cap) if A == W else min(WINDOW_MIN, cap)
             adv = adversaries[b]
+            if tel is not None:
+                tel.observe("window.proposed", W)
+                tel.observe("window.committed", A)
+                tel.count("window.slots_proposed", W)
+                tel.count("window.slots_committed", A)
+                if A < W:
+                    tel.count("window.truncations")
             if adv is not None and A < W:
                 # an event truncated the window: rewind Eve and replay her
                 # over exactly the committed prefix (identical targets →
@@ -232,6 +250,10 @@ def run_windowed(
                 ckpt, targets, valid = specs[i]
                 adv.restore(ckpt)
                 adv.jam_window(clock, targets[:A], valid[:A])
+                if tel is not None:
+                    tel.count("window.rollbacks")
+                    tel.count("window.adv_queries")
+                    tel.count("window.replayed_slots", A)
             lo = np.searchsorted(listen_r, off)
             hi = np.searchsorted(listen_r, off + A)
             listen_counts = np.bincount(listen_u[lo:hi], minlength=n)

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 import time
 from concurrent.futures.process import BrokenProcessPool
@@ -289,18 +290,36 @@ def cmd_sweep(args) -> int:
     if skipped:
         print(f"resuming: {skipped} stored trial(s) found in {args.store}", file=sys.stderr)
 
-    # progress carries elapsed/ETA so a long campaign (minutes-per-cell adv
-    # grids on one core) is never opaque between JSONL flushes; the trial
-    # key names the cell, so each line locates the campaign's position
+    if args.telemetry and not args.store:
+        raise SystemExit("--telemetry needs --store (it shards alongside it)")
+
+    # progress carries elapsed/ETA/throughput so a long campaign (minutes-
+    # per-cell adv grids on one core) is never opaque between JSONL flushes;
+    # the trial key names the cell, so each line locates the campaign's
+    # position
     started = time.monotonic()
 
     def progress(done, total, record):
         if not args.quiet:
             elapsed = time.monotonic() - started
             eta = elapsed / done * (total - done) if done else 0.0
+            rate = done / elapsed if elapsed > 0 else 0.0
+            util = ""
+            if args.telemetry and elapsed > 0:
+                # merged worker aggregates land on the parent recorder as
+                # blocks complete: kernel-busy seconds over wall x workers
+                # is the live utilization figure
+                from repro.obs.recorder import active as _obs_active
+
+                tel = _obs_active()
+                pool_width = args.workers or os.cpu_count() or 1
+                if tel is not None and tel.timers:
+                    busy = sum(cell[0] for cell in tel.timers.values())
+                    util = f" | util {min(busy / (elapsed * pool_width), 1.0) * 100:.0f}%"
             print(
                 f"[{done}/{total}] {record.key} | "
-                f"{_fmt_duration(elapsed)} elapsed | eta {_fmt_duration(eta)}",
+                f"{_fmt_duration(elapsed)} elapsed | eta {_fmt_duration(eta)} | "
+                f"{rate:.1f} trials/s{util}",
                 file=sys.stderr,
             )
 
@@ -312,6 +331,7 @@ def cmd_sweep(args) -> int:
                 workers=args.workers,
                 progress=progress,
                 backend=args.backend,
+                telemetry=args.telemetry,
             )
     except CampaignInterrupted as exc:
         print(
@@ -340,6 +360,82 @@ def cmd_sweep(args) -> int:
     )
     if campaign.adaptive:
         _print_stopping_table(campaign, store)
+    if args.telemetry:
+        _print_telemetry_summary(args.store)
+    return 0
+
+
+def _print_telemetry_summary(store_path: str) -> None:
+    """One post-run stderr line from the merged telemetry stream: worker
+    throughput and utilization, plus the obs-report pointer."""
+    from repro.obs import iter_telemetry, telemetry_path
+
+    path = telemetry_path(store_path)
+    try:
+        events = list(iter_telemetry(path))
+    except OSError:
+        return
+    heartbeats = [e for e in events if e["event"] == "heartbeat"]
+    campaigns = [e for e in events if e["event"] == "campaign"]
+    # trials/elapsed come from the campaign row itself, not summed heartbeats:
+    # a resumed store carries the interrupted run's heartbeats too, and a
+    # no-op resume (trials == 0) has no throughput worth printing
+    if heartbeats and campaigns and int(campaigns[-1].get("trials", 0)) > 0:
+        busy: dict = {}
+        for hb in heartbeats:
+            busy[hb["source"]] = max(
+                busy.get(hb["source"], 0.0), float(hb.get("elapsed", 0.0))
+            )
+        c = campaigns[-1]
+        trials = int(c.get("trials", 0))
+        elapsed = float(c.get("elapsed", 0.0))
+        workers = int(c.get("workers", 0)) or len(busy)
+        rate = trials / elapsed if elapsed > 0 else 0.0
+        # worker elapsed can overlap the parent's own shard merge slightly,
+        # so clamp — >100% utilization would only confuse
+        util = (
+            ", worker utilization "
+            f"{min(sum(busy.values()) / (elapsed * workers), 1.0) * 100:.0f}%"
+            if elapsed > 0 and workers
+            else ""
+        )
+        print(
+            f"telemetry: {rate:.1f} trials/s across {workers} worker(s){util}",
+            file=sys.stderr,
+        )
+    print(f"telemetry: report with `python -m repro obs {store_path}`", file=sys.stderr)
+
+
+def cmd_obs(args) -> int:
+    """Render a telemetry run report, or gate benchmarks (--check-bench)."""
+    if args.check_bench:
+        from repro.obs.bench import check_bench
+
+        ok, lines = check_bench(args.check_bench, args.baseline)
+        for line in lines:
+            print(line)
+        return 0 if ok else 1
+    if args.baseline:
+        raise SystemExit("--baseline only applies with --check-bench")
+    if not args.store:
+        raise SystemExit("need a store path (or --check-bench DIR)")
+    from repro.obs import iter_telemetry, render_report, telemetry_path, write_figures
+
+    path = telemetry_path(args.store)
+    try:
+        events = list(iter_telemetry(path))
+    except OSError as exc:
+        raise SystemExit(
+            f"no telemetry stream at {path} (run the campaign with "
+            f"--telemetry): {exc}"
+        ) from None
+    print(render_report(events), end="")
+    if args.figures:
+        written = write_figures(events, args.figures)
+        for fig in written:
+            print(f"wrote {fig}")
+        if not written:
+            print("no timeline-bearing events; figures skipped")
     return 0
 
 
@@ -493,7 +589,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sw.add_argument("--spec", default=None, help="load a CampaignSpec JSON file")
     p_sw.add_argument("--quiet", action="store_true", help="suppress per-trial progress")
+    p_sw.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record run telemetry to <store>.telemetry.jsonl (needs --store; "
+        "trial rows are untouched — view with `repro obs <store>`)",
+    )
     p_sw.set_defaults(fn=cmd_sweep)
+
+    p_obs = sub.add_parser(
+        "obs", help="telemetry run report / benchmark regression gate"
+    )
+    p_obs.add_argument(
+        "store",
+        nargs="?",
+        default=None,
+        help="trial store whose .telemetry.jsonl sidecar to report on",
+    )
+    p_obs.add_argument(
+        "--figures",
+        default=None,
+        metavar="DIR",
+        help="also write deterministic SVG timelines into DIR",
+    )
+    p_obs.add_argument(
+        "--check-bench",
+        default=None,
+        metavar="DIR",
+        help="validate the BENCH_*.json files in DIR against their recorded "
+        "speedup floors (exit 1 on regression)",
+    )
+    p_obs.add_argument(
+        "--baseline",
+        default=None,
+        metavar="DIR",
+        help="with --check-bench: additionally gate DIR's fresh speedups "
+        "against this directory's recorded floors (the CI regression gate)",
+    )
+    p_obs.set_defaults(fn=cmd_obs)
 
     p_rep = sub.add_parser(
         "report",

@@ -42,10 +42,12 @@ slots, statuses, event slots, energy books, periods and extras.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.recorder import active as _obs_active
 from repro.core.multicast_adv import (
     STATUS_HALT,
     STATUS_IN,
@@ -272,6 +274,14 @@ def run_adv_batch(proto, bnet: BatchNetwork) -> List[BroadcastResult]:
         live[lane_ids[finished]] = False
         i += 1
 
+    tel = _obs_active()
+    if tel is not None and B > 1:
+        # straggler wait: slots the slowest lane ran past the second-slowest
+        clocks = np.sort(bnet.clocks)
+        tel.count("adv_batch.straggler_slots", int(clocks[-1] - clocks[-2]))
+        tel.count("adv_batch.batches")
+        tel.count("adv_batch.lanes", B)
+
     halted = status == STATUS_HALT
     informed = status >= STATUS_IN
     return [
@@ -325,6 +335,7 @@ def _run_phase_batch(
     C = proto.phase_channels(j)
     active = status[lane_ids] != STATUS_HALT
     informed = status[lane_ids] >= STATUS_IN
+    tel = _obs_active()
 
     # ---- Step I: dissemination (statuses may flip un -> in mid-step) ----
     remaining = R
@@ -334,6 +345,8 @@ def _run_phase_batch(
         coins = bnet.draw_coins(lane_ids, K)
         jam = bnet.draw_jamming(lane_ids, K, C)
         sub_slot = informed_slot[lane_ids]
+        if tel is not None:
+            t0 = time.perf_counter()
         listen_counts, send_counts, new_informed = _adv_step_one_block(
             channels,
             coins,
@@ -344,6 +357,10 @@ def _run_phase_batch(
             slot0=bnet.clocks[lane_ids],
             informed_slot=sub_slot,
         )
+        if tel is not None:
+            tel.add_time("adv_batch.kernel_s", time.perf_counter() - t0)
+            tel.count("adv_batch.kernel_passes")
+            tel.observe("adv_batch.occupancy", int(lane_ids.size))
         overrun = bnet.commit_counts(lane_ids, listen_counts, send_counts, K)
         # informed_slot is adopted even for a lane whose commit overran (the
         # scalar path raises *after* the event loop's in-place update);
@@ -378,9 +395,15 @@ def _run_phase_batch(
         channels = bnet.draw_channels(lane_ids, K, C)
         coins = bnet.draw_coins(lane_ids, K)
         jam = bnet.draw_jamming(lane_ids, K, C)
+        if tel is not None:
+            t0 = time.perf_counter()
         listen_counts, send_counts, counters = _adv_step_two_block(
             channels, coins, jam, informed, active, p
         )
+        if tel is not None:
+            tel.add_time("adv_batch.kernel_s", time.perf_counter() - t0)
+            tel.count("adv_batch.kernel_passes")
+            tel.observe("adv_batch.occupancy", int(lane_ids.size))
         overrun = bnet.commit_counts(lane_ids, listen_counts, send_counts, K)
         if overrun.any():
             # the overrunning lane's block counters are dropped — the scalar

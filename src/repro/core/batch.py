@@ -45,12 +45,14 @@ and the kernel computes exactly the quantities the scalar resolver would
 from __future__ import annotations
 
 import sys
+import time
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.result import BroadcastResult, run_broadcast
+from repro.obs.recorder import active as _obs_active
 from repro.sim.engine import BatchNetwork
 from repro.sim.jam import JamBlock
 
@@ -291,6 +293,7 @@ def run_iterations_batch(
     iterations_run = np.zeros(B, dtype=np.int64)
     live = np.ones(B, dtype=bool)
     i = first_index
+    tel = _obs_active()
 
     while live.any():
         if proto.max_iterations is not None and int(iterations_run[live].max()) >= proto.max_iterations:
@@ -306,6 +309,8 @@ def run_iterations_batch(
             coins = bnet.draw_coins(lane_ids, K)
             jam = draw_jamming(lane_ids, K)
             sub_slot = informed_slot[lane_ids]
+            if tel is not None:
+                t0 = time.perf_counter()
             listen_counts, send_counts, block_noise, new_informed = _shared_coin_block(
                 channels,
                 coins,
@@ -317,6 +322,11 @@ def run_iterations_batch(
                 slot_scale=slots_per_row,
                 informed_slot=sub_slot,
             )
+            if tel is not None:
+                tel.add_time("batch.kernel_s", time.perf_counter() - t0)
+                tel.count("batch.kernel_passes")
+                tel.count("batch.lane_rows", int(lane_ids.size) * K)
+                tel.observe("batch.occupancy", int(lane_ids.size))
             overrun = bnet.commit_counts(
                 lane_ids, listen_counts, send_counts, K, slots_per_row=slots_per_row
             )
@@ -349,6 +359,15 @@ def run_iterations_batch(
             finished = ~active[lane_ids].any(axis=1)
             live[lane_ids[finished]] = False
         i += 1
+
+    if tel is not None and B > 1:
+        # straggler wait: slots the slowest lane ran past the second-slowest
+        # — per-pass occupancy says *when* lanes drop out, this says how much
+        # tail one lane adds to the whole batch
+        clocks = np.sort(bnet.clocks)
+        tel.count("batch.straggler_slots", int(clocks[-1] - clocks[-2]))
+        tel.count("batch.batches")
+        tel.count("batch.lanes", B)
 
     return [
         BroadcastResult(
@@ -437,6 +456,23 @@ def collect_fallback_notes():
         _FALLBACK_NOTES = previous
 
 
+def _note_fallback(protocol, reason: str, lanes: int) -> None:
+    """Record a scalar fallback: collected note inside a campaign scope,
+    one stderr line otherwise — plus a telemetry counter when recording."""
+    name = getattr(protocol, "name", type(protocol).__name__)
+    if _FALLBACK_NOTES is not None:
+        _FALLBACK_NOTES.add(name, reason, lanes)
+    else:
+        print(
+            f"run_broadcast_batch: {name} {reason} — "
+            f"{lanes} lane(s) ran on the scalar fallback",
+            file=sys.stderr,
+        )
+    tel = _obs_active()
+    if tel is not None:
+        tel.count("batch.fallback_lanes", lanes)
+
+
 def run_broadcast_batch(
     protocol,
     n: int,
@@ -444,6 +480,7 @@ def run_broadcast_batch(
     seeds: Sequence[int] = (0,),
     *,
     max_slots: int = 50_000_000,
+    trace=None,
 ) -> List[BroadcastResult]:
     """Run one execution per lane — ``len(seeds)`` trials in one batch.
 
@@ -463,6 +500,12 @@ def run_broadcast_batch(
     (Lanes with *reactive* adversaries are different — they dispatch to the
     vectorized arena runtime by design and are neither warned about nor
     stamped.)
+
+    ``trace=`` (a :class:`~repro.core.trace.TraceRecorder`) is honored only
+    by the scalar engine: a one-lane batch falls back scalar with a
+    FallbackNote, and a multi-lane batch raises — a trace records one
+    execution, so silently attaching it to lane 0 of a batch (or dropping
+    it, as batched/windowed dispatch used to) would misreport what ran.
     """
     seeds = list(seeds)
     if not seeds:
@@ -474,6 +517,20 @@ def run_broadcast_batch(
         raise ValueError(
             f"{len(adversaries)} adversaries for {len(seeds)} seeds (need one per lane)"
         )
+    if trace is not None:
+        if len(seeds) > 1:
+            raise ValueError(
+                "trace recording is scalar-only: run_broadcast_batch got "
+                f"trace= with {len(seeds)} lanes — record one lane per "
+                "trace, or drop trace= to run batched"
+            )
+        result = run_broadcast(
+            protocol, n, adversaries[0], seed=seeds[0], max_slots=max_slots,
+            trace=trace,
+        )
+        result.extras["backend"] = "scalar-fallback"
+        _note_fallback(protocol, "trace= forces the scalar path", 1)
+        return [result]
     if adversaries and all(
         adversary is not None
         and hasattr(adversary, "jam_slot")
@@ -506,20 +563,13 @@ def run_broadcast_batch(
                 fallbacks += 1
             results.append(result)
         if fallbacks:
-            name = getattr(protocol, "name", type(protocol).__name__)
-            reason = (
+            _note_fallback(
+                protocol,
                 "has no run_batch"
                 if not has_run_batch
-                else "split a mixed reactive/oblivious batch"
+                else "split a mixed reactive/oblivious batch",
+                fallbacks,
             )
-            if _FALLBACK_NOTES is not None:
-                _FALLBACK_NOTES.add(name, reason, fallbacks)
-            else:
-                print(
-                    f"run_broadcast_batch: {name} {reason} — "
-                    f"{fallbacks} lane(s) ran on the scalar fallback",
-                    file=sys.stderr,
-                )
         return results
     for adversary in adversaries:
         if adversary is not None:

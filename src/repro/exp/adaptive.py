@@ -31,6 +31,7 @@ vacuous precision.  See DESIGN.md section 10.3 for the statistics.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, TYPE_CHECKING
 
@@ -221,6 +222,28 @@ class AdaptiveController:
                 if t not in plan.values:
                     pending.append(dataclasses.replace(plan.template, trial=t))
         return pending
+
+    def precision_snapshot(self) -> Dict[str, float]:
+        """Per-open-cell achieved relative CI95 half-width at the largest
+        complete wave boundary — the telemetry wave-trajectory payload.
+        Cells already decided (or without a complete boundary of at least
+        :data:`MIN_TRIALS` seeds) report nothing; non-finite half-widths
+        (NaN metrics, zero mean) are omitted rather than serialized."""
+        out: Dict[str, float] = {}
+        for plan in self.plans:
+            if plan.decision is not None or plan.recorded:
+                continue
+            best = None
+            for k in self.rule.boundaries():
+                if any(t not in plan.values for t in range(k)):
+                    break
+                best = k
+            if best is not None and best >= MIN_TRIALS:
+                summary = Summary.of([plan.values[t] for t in range(best)])
+                achieved = float(summary.rel_ci95)
+                if math.isfinite(achieved):
+                    out[plan.cell_key()] = achieved
+        return out
 
     def scheduled_keys(self) -> List[str]:
         """Keys of every trial the campaign actually owns: observed values

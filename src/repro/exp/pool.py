@@ -51,6 +51,14 @@ from repro.exp.registry import build_jammer, build_protocol, protocol_lane_width
 from repro.exp.shard import merge_shards, shard_path
 from repro.exp.spec import CampaignSpec, TrialSpec
 from repro.exp.store import ResultStore, TrialRecord
+from repro.obs.merge import merge_telemetry_shards, telemetry_shard_path
+from repro.obs.recorder import (
+    Telemetry,
+    _install as _obs_install,
+    active as _obs_active,
+    collect_telemetry,
+    telemetry_path,
+)
 
 __all__ = [
     "CampaignInterrupted",
@@ -87,6 +95,20 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+#: Deterministic-wall-time hook: with this env var set, every TrialRecord's
+#: ``wall_time`` is stamped 0.0.  ``wall_time`` is the one physical
+#: (non-derived) field in a trial row; zeroing it makes whole stores
+#: byte-comparable across runs and worker counts — which is exactly how the
+#: telemetry never-in-trial-rows contract is enforced
+#: (``tests/obs/test_determinism.py``).  Environment variables survive both
+#: fork and spawn, so the stamp is consistent across sharded workers.
+ZERO_WALL_ENV = "REPRO_ZERO_WALL"
+
+
+def _wall(seconds: float) -> float:
+    return 0.0 if os.environ.get(ZERO_WALL_ENV) else seconds
+
+
 def run_trial(spec: TrialSpec) -> TrialRecord:
     """Execute one trial from its spec (top-level, hence pool-picklable)."""
     protocol = build_protocol(
@@ -99,7 +121,7 @@ def run_trial(spec: TrialSpec) -> TrialRecord:
     result = run_broadcast(
         protocol, spec.n, adversary, seed=spec.net_seed(), max_slots=spec.max_slots
     )
-    return TrialRecord.from_result(spec, result, wall_time=time.perf_counter() - t0)
+    return TrialRecord.from_result(spec, result, wall_time=_wall(time.perf_counter() - t0))
 
 
 def run_trial_batch(
@@ -148,7 +170,15 @@ def run_trial_batch(
             [s.net_seed() for s in chunk],
             max_slots=first.max_slots,
         )
-        wall = (time.perf_counter() - t0) / len(chunk)
+        block_s = time.perf_counter() - t0
+        tel = _obs_active()
+        if tel is not None:
+            tel.heartbeat(
+                trials=len(chunk),
+                block_s=round(block_s, 6),
+                trials_per_s=round(len(chunk) / block_s, 2) if block_s > 0 else 0.0,
+            )
+        wall = _wall(block_s) / len(chunk)
         for spec, result in zip(chunk, results):
             yield TrialRecord.from_result(spec, result, wall_time=wall)
 
@@ -202,21 +232,39 @@ def _lane_blocks(pending: Sequence[TrialSpec]) -> List[List[TrialSpec]]:
 _SHARD_STATE: dict = {"fh": None}
 
 
-def _shard_worker_init(counter, store_path: Optional[str]) -> None:
+def _shard_worker_init(
+    counter, store_path: Optional[str], telemetry: bool = False
+) -> None:
     """Pool initializer: ignore SIGINT (the parent owns interrupts) and — for
-    on-disk stores — claim the next shard index and open its file."""
+    on-disk stores — claim the next shard index and open its file.
+
+    The active telemetry recorder is always cleared first: under the fork
+    start method a worker would otherwise inherit the parent's recorder —
+    including its open handle on the *merged* telemetry file, breaking the
+    single-writer-per-file rule.  With ``telemetry`` set the worker installs
+    its own recorder on its own ``<store>.telemetry.shard-<k>.jsonl``."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     _SHARD_STATE["fh"] = None
+    _obs_install(None)
     if store_path is not None:
         with counter.get_lock():
             worker = int(counter.value)
             counter.value = worker + 1
         _SHARD_STATE["fh"] = open(shard_path(store_path, worker), "a")
+        if telemetry:
+            _obs_install(
+                Telemetry(
+                    telemetry_shard_path(store_path, worker),
+                    source=f"worker-{worker}",
+                )
+            )
 
 
 def _run_shard_block(specs: List[TrialSpec], backend: str):
     """Execute one lane block inside a worker; flush it to the worker's
-    shard; return the records plus the block's scalar-fallback tally."""
+    shard; return the records plus the block's scalar-fallback tally and
+    telemetry aggregates (both plain dicts — the worker -> parent
+    transport; discrete events stream to the worker's telemetry shard)."""
     with collect_fallback_notes() as notes:
         if backend == "scalar":
             records = [run_trial(spec) for spec in specs]
@@ -227,7 +275,9 @@ def _run_shard_block(specs: List[TrialSpec], backend: str):
         for record in records:
             fh.write(record.to_json_line() + "\n")
         fh.flush()
-    return records, notes.snapshot()
+    tel = _obs_active()
+    telem = tel.take_aggregates() if tel is not None else None
+    return records, notes.snapshot(), telem
 
 
 def _execute_sharded(
@@ -254,20 +304,30 @@ def _execute_sharded(
     the next run's opening merge."""
     ctx = multiprocessing.get_context()
     counter = ctx.Value("i", 0)
+    tel = _obs_active()
     executor = ProcessPoolExecutor(
         max_workers=workers,
         mp_context=ctx,
         initializer=_shard_worker_init,
-        initargs=(counter, store.path),
+        initargs=(counter, store.path, tel is not None and store.path is not None),
     )
     try:
         futures = [
             executor.submit(_run_shard_block, block, backend)
             for block in _lane_blocks(pending)
         ]
-        for future in futures:
-            records, counts = future.result()
+        for i, future in enumerate(futures):
+            records, counts, telem = future.result()
             notes.merge(counts)
+            if tel is not None:
+                if telem:
+                    tel.merge_aggregates(telem)
+                # parent-side view of the work backlog as futures land
+                tel.emit(
+                    "queue_depth",
+                    pending=len(futures) - i - 1,
+                    elapsed=round(time.perf_counter() - tel.t0, 6),
+                )
             for record in records:
                 record_one(record)
     except BaseException:
@@ -275,6 +335,8 @@ def _execute_sharded(
         raise
     executor.shutdown(wait=True)
     merge_shards(store)
+    if tel is not None and store.path is not None:
+        merge_telemetry_shards(store.path)
 
 
 def _collect(store: ResultStore, keys: Set[str]) -> List[TrialRecord]:
@@ -293,6 +355,7 @@ def run_campaign(
     workers: int = 0,
     progress: Optional[ProgressCallback] = None,
     backend: str = "auto",
+    telemetry: bool = False,
 ) -> List[TrialRecord]:
     """Run every not-yet-completed trial of ``campaign``; return all records.
 
@@ -327,6 +390,12 @@ def run_campaign(
         ``wall_time`` (not aggregated) reflects the execution shape.  The
         batched path flushes once per kernel pass instead of once per
         trial, so an interrupt can lose up to one lane block in flight.
+    telemetry:
+        Record run telemetry (:mod:`repro.obs`) to
+        ``<store>.telemetry.jsonl`` — needs an on-disk store, since workers
+        shard the telemetry stream alongside the trial shards.  Trial rows
+        are untouched: the store is byte-identical with telemetry on and
+        off (the never-in-trial-rows contract, ``tests/obs/``).
 
     Scalar-fallback warnings from the batch engine are collected once per
     campaign (one summary line per cause on stderr), not once per lane pass.
@@ -341,6 +410,32 @@ def run_campaign(
         raise ValueError(f"unknown backend {backend!r} (auto, scalar, batched)")
     if store is None:
         store = ResultStore(None)
+    if telemetry:
+        if store.path is None:
+            raise ValueError(
+                "telemetry needs an on-disk store (its event stream shards "
+                "alongside the trial shards)"
+            )
+        with collect_telemetry(telemetry_path(store.path)):
+            merge_telemetry_shards(store.path)  # crashed-run leftovers
+            return _campaign_body(
+                campaign, store, workers=workers, progress=progress,
+                backend=backend,
+            )
+    return _campaign_body(
+        campaign, store, workers=workers, progress=progress, backend=backend
+    )
+
+
+def _campaign_body(
+    campaign: CampaignSpec,
+    store: ResultStore,
+    *,
+    workers: int,
+    progress: Optional[ProgressCallback],
+    backend: str,
+) -> List[TrialRecord]:
+    t_start = time.perf_counter()
     merge_shards(store)  # crash leftovers count as completed before anything
     if campaign.adaptive:
         return _run_adaptive(
@@ -385,7 +480,34 @@ def run_campaign(
         except KeyboardInterrupt:
             raise CampaignInterrupted(done, total) from None
     notes.emit()
+    _emit_campaign_events(notes, trials=done, workers=workers, t_start=t_start)
     return _collect(store, wanted)
+
+
+def _emit_campaign_events(
+    notes: FallbackNotes, *, trials: int, workers: int, t_start: float
+) -> None:
+    """Parent-side end-of-campaign telemetry: one ``campaign`` event and —
+    exactly once per campaign, mirroring the stderr summary — the merged
+    fallback-note tally."""
+    tel = _obs_active()
+    if tel is None:
+        return
+    if notes:
+        tel.emit(
+            "fallback_notes",
+            notes=[
+                {"protocol": name, "reason": reason, "lanes": lanes,
+                 "passes": passes}
+                for (name, reason), (lanes, passes) in notes.counts.items()
+            ],
+        )
+    tel.emit(
+        "campaign",
+        trials=trials,
+        workers=workers,
+        elapsed=round(time.perf_counter() - t_start, 6),
+    )
 
 
 def _run_adaptive(
@@ -401,10 +523,12 @@ def _run_adaptive(
     Each wave's pending specs go through exactly the machinery a fixed
     campaign uses (serial lane batching or the sharded pool), so adaptive
     stopping changes *which* trials run, never how any one trial runs."""
+    t_start = time.perf_counter()
     controller = AdaptiveController(campaign, store)
     workers = default_workers() if workers == 0 else max(1, int(workers))
     done = 0
     total = 0
+    wave_index = 0
 
     def record_one(record: TrialRecord) -> None:
         nonlocal done
@@ -440,9 +564,27 @@ def _run_adaptive(
                         record_one=record_one,
                         notes=notes,
                     )
+                wave_index += 1
+                tel = _obs_active()
+                if tel is not None:
+                    # post-wave precision snapshot: the CI-width trajectory
+                    # (cells whose decisions are now due still count as open
+                    # — take_decisions runs at the top of the next loop)
+                    tel.emit(
+                        "wave",
+                        wave=wave_index,
+                        scheduled=len(wave),
+                        cells_open=sum(
+                            1
+                            for plan in controller.plans
+                            if plan.decision is None and not plan.recorded
+                        ),
+                        rel_ci=controller.precision_snapshot(),
+                    )
         except KeyboardInterrupt:
             raise CampaignInterrupted(done, total) from None
     notes.emit()
+    _emit_campaign_events(notes, trials=done, workers=workers, t_start=t_start)
     return _collect(store, set(controller.scheduled_keys()))
 
 

@@ -30,6 +30,7 @@ import re
 from typing import List, Union
 
 from repro.exp.store import ResultStore, StoppingRecord, TrialRecord, iter_jsonl_records
+from repro.obs.recorder import active as _obs_active
 
 __all__ = ["shard_path", "shard_paths", "merge_shards"]
 
@@ -90,4 +91,10 @@ def merge_shards(store: ResultStore) -> int:
         store.append_stopping(record)
     for path in paths:
         os.remove(path)
-    return len(trials) + len(stops)
+    merged = len(trials) + len(stops)
+    tel = _obs_active()
+    if tel is not None and merged:
+        # recovery visibility: rows that outlived a crashed/interrupted run
+        # (the closing merge of a healthy campaign finds nothing to fold)
+        tel.emit("shard_merge", records=merged, shards=len(paths))
+    return merged

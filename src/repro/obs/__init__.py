@@ -1,0 +1,66 @@
+"""``repro.obs`` — run telemetry across kernels, workers, and campaigns.
+
+The observability layer answers "where does the compute go?" for the
+sharded, lane-batched, window-stepped campaign machinery without ever
+touching a trial row.  Three design rules, enforced by tests:
+
+1. **No-op default.**  When no recorder is active every instrumentation
+   site is a single module-global ``is None`` check (measured < 2% on the
+   hot kernels by ``benchmarks/bench_obs.py``).  Production code never
+   imports heavyweight telemetry machinery on the hot path.
+2. **Never in trial rows.**  Telemetry writes to a side channel
+   (``<store>.telemetry.jsonl``); the trial store is byte-identical with
+   telemetry on and off (``tests/obs/test_determinism.py``).
+3. **Sharded like trials.**  Workers append to
+   ``<store>.telemetry.shard-<k>.jsonl``; the parent merges shards in
+   worker-index order at campaign close (and recovers orphans at open),
+   mirroring :mod:`repro.exp.shard`.
+
+See DESIGN.md section 12 for the event schema and the overhead budget.
+"""
+
+from repro.obs.recorder import (
+    Telemetry,
+    active,
+    collect_telemetry,
+    telemetry_path,
+)
+from repro.obs.merge import (
+    merge_telemetry_shards,
+    telemetry_shard_path,
+    telemetry_shard_paths,
+)
+
+_REPORT_NAMES = ("iter_telemetry", "render_report", "write_figures")
+_BENCH_NAMES = ("check_bench", "load_bench_files")
+
+
+def __getattr__(name):
+    # report rendering pulls in repro.report (and through it the exp layer),
+    # which itself imports the instrumented hot modules — lazy-load it so
+    # `from repro.obs.recorder import active` stays cycle-free and cheap on
+    # the hot path
+    if name in _REPORT_NAMES:
+        from repro.obs import report
+
+        return getattr(report, name)
+    if name in _BENCH_NAMES:
+        from repro.obs import bench
+
+        return getattr(bench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Telemetry",
+    "active",
+    "collect_telemetry",
+    "telemetry_path",
+    "merge_telemetry_shards",
+    "telemetry_shard_path",
+    "telemetry_shard_paths",
+    "iter_telemetry",
+    "render_report",
+    "write_figures",
+    "check_bench",
+    "load_bench_files",
+]

@@ -1,0 +1,129 @@
+"""The perf-regression gate: validate ``BENCH_*.json`` files against their
+recorded floors.
+
+Every benchmark that measures a speedup records it through
+``benchmarks/conftest.py``'s ``record_speedup`` helper in one schema::
+
+    {"bench": "<module>", "schema": 1, "smoke": bool, "updated": ...,
+     "results": {"<test>": {"speedups": {"<case>": {
+         "baseline_s": ..., "fast_s": ..., "speedup": ..., "floor": ...
+     }}, ...}}}
+
+The ``floor`` is the loose scale-robust bound the bench itself asserts
+(chosen so a loaded CI runner at smoke scale cannot flake); the committed
+full-scale ``speedup`` is the acceptance figure.  ``repro obs
+--check-bench DIR`` validates every file in DIR against its own floors;
+adding ``--baseline DIR2`` additionally gates DIR's fresh speedups
+against DIR2's floors — the CI regression gate (fresh smoke run vs the
+committed record).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["load_bench_files", "check_bench"]
+
+SCHEMA_VERSION = 1
+
+
+def load_bench_files(dirpath: str) -> Dict[str, dict]:
+    """``BENCH_*.json`` files under ``dirpath``, keyed by bench name."""
+    out: Dict[str, dict] = {}
+    for path in sorted(glob.glob(os.path.join(dirpath, "BENCH_*.json"))):
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        name = data.get("bench") or os.path.basename(path)[len("BENCH_"):-len(".json")]
+        out[name] = data
+    return out
+
+
+def _iter_speedups(data: dict):
+    for test, result in sorted(data.get("results", {}).items()):
+        if not isinstance(result, dict):
+            continue
+        for case, figures in sorted(result.get("speedups", {}).items()):
+            yield test, case, figures
+
+
+def check_bench(
+    dirpath: str, baseline_dir: Optional[str] = None
+) -> Tuple[bool, List[str]]:
+    """Validate every bench file in ``dirpath``; returns (ok, report lines).
+
+    Each recorded speedup must meet its own ``floor``.  With
+    ``baseline_dir``, each fresh speedup must additionally meet the floor
+    recorded for the same (bench, test, case) in the baseline — speedup
+    floors are scale-robust, so a smoke-scale fresh run gates cleanly
+    against the committed full-scale record.  Cases present in the
+    baseline but absent from the fresh run fail the check (a silently
+    dropped benchmark is a regression too).
+    """
+    lines: List[str] = []
+    ok = True
+    benches = load_bench_files(dirpath)
+    if not benches:
+        return False, [f"no BENCH_*.json files under {dirpath}"]
+    baseline = load_bench_files(baseline_dir) if baseline_dir else {}
+
+    for name, data in sorted(benches.items()):
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            ok = False
+            lines.append(
+                f"FAIL {name}: schema {schema!r} != {SCHEMA_VERSION} "
+                f"(regenerate via benchmarks/conftest.py record_speedup)"
+            )
+            continue
+        cases = list(_iter_speedups(data))
+        if not cases:
+            lines.append(f"  ok  {name}: no recorded speedups (shape-only bench)")
+            continue
+        for test, case, figures in cases:
+            speedup = figures.get("speedup")
+            floor = figures.get("floor")
+            label = f"{name}::{test}::{case}"
+            if speedup is None or floor is None:
+                ok = False
+                lines.append(f"FAIL {label}: missing speedup/floor fields")
+                continue
+            if speedup < floor:
+                ok = False
+                lines.append(f"FAIL {label}: speedup {speedup} < floor {floor}")
+            else:
+                lines.append(f"  ok  {label}: speedup {speedup} >= floor {floor}")
+
+    for name, base in sorted(baseline.items()):
+        fresh = benches.get(name)
+        if fresh is None:
+            ok = False
+            lines.append(f"FAIL {name}: in baseline but missing from fresh run")
+            continue
+        fresh_cases = {
+            (test, case): figures for test, case, figures in _iter_speedups(fresh)
+        }
+        for test, case, figures in _iter_speedups(base):
+            floor = figures.get("floor")
+            if floor is None:
+                continue
+            label = f"{name}::{test}::{case}"
+            got = fresh_cases.get((test, case))
+            if got is None:
+                ok = False
+                lines.append(f"FAIL {label}: case missing from fresh run")
+                continue
+            speedup = got.get("speedup")
+            if speedup is None or speedup < floor:
+                ok = False
+                lines.append(
+                    f"FAIL {label}: fresh speedup {speedup} < baseline floor {floor}"
+                )
+            else:
+                lines.append(
+                    f"  ok  {label}: fresh speedup {speedup} >= baseline floor {floor}"
+                )
+    lines.append("check-bench: " + ("PASS" if ok else "FAIL"))
+    return ok, lines

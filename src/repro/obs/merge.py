@@ -1,0 +1,76 @@
+"""Telemetry shard files and their merge step — ``exp/shard.py``'s sibling.
+
+Worker ``k`` of a sharded campaign appends its telemetry events to
+``<store>.telemetry.shard-<k>.jsonl``; only the parent ever writes the
+merged ``<store>.telemetry.jsonl``.  Unlike trial shards there is no
+dedup-by-key step: telemetry events are observations, not idempotent
+facts, so the merge simply concatenates shards in worker-index order
+(each shard is internally ordered by its ``seq`` field).  The
+worker-index ordering makes the merged stream deterministic for a fixed
+set of shard files regardless of OS directory order.
+
+Orphaned shards from a crashed run are folded in by the next campaign
+against the same store, exactly like trial-shard recovery.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import re
+from typing import List
+
+from repro.obs.recorder import telemetry_path
+
+__all__ = [
+    "merge_telemetry_shards",
+    "telemetry_shard_path",
+    "telemetry_shard_paths",
+]
+
+_SHARD_SUFFIX = re.compile(r"\.telemetry\.shard-(\d+)\.jsonl$")
+
+
+def telemetry_shard_path(store_path: str, worker: int) -> str:
+    """The telemetry shard worker ``worker`` owns for ``store_path``."""
+    return f"{store_path}.telemetry.shard-{worker}.jsonl"
+
+
+def telemetry_shard_paths(store_path: str) -> List[str]:
+    """Existing telemetry shards of a store, in worker order."""
+    found = []
+    pattern = f"{glob.escape(store_path)}.telemetry.shard-*.jsonl"
+    for path in glob.glob(pattern):
+        match = _SHARD_SUFFIX.search(path)
+        if match:
+            found.append((int(match.group(1)), path))
+    return [path for _, path in sorted(found)]
+
+
+def merge_telemetry_shards(store_path: str) -> int:
+    """Append every telemetry shard's events to ``<store>.telemetry.jsonl``
+    in worker-index order, then delete the shard files.  Undecodable lines
+    (a worker killed mid-write) are dropped, matching the trial-store
+    reader's tolerance.  Returns the number of events merged in.
+    """
+    paths = telemetry_shard_paths(store_path)
+    if not paths:
+        return 0
+    merged = 0
+    with open(telemetry_path(store_path), "a", encoding="utf-8") as out:
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    out.write(line + "\n")
+                    merged += 1
+    for path in paths:
+        os.remove(path)
+    return merged

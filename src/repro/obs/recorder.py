@@ -1,0 +1,211 @@
+"""The telemetry recorder: counters, timers, histograms, and a JSONL event
+stream — behind a module-global that defaults to ``None``.
+
+Instrumentation sites follow one idiom::
+
+    from repro import obs
+
+    tel = obs.active()
+    if tel is not None:
+        tel.count("batch.kernel_passes")
+
+so the disabled cost is a function call plus an ``is None`` test (the
+overhead bench pins it < 2% on the hot kernels).  Aggregates (counters /
+timers / histograms) accumulate in memory and are flushed as a single
+``summary`` event when the recorder closes; discrete events (heartbeats,
+wave snapshots, shard-merge recoveries) stream to the sink as they happen
+so a crashed worker still leaves its trace.
+
+Timestamps deserve a note: event rows carry no wall-clock field by
+default.  Durations (timers) are relative measurements and survive in the
+summary; absolute times would break the byte-level determinism tests and
+add nothing a throughput number doesn't already say.  Heartbeats carry an
+explicit monotonic ``elapsed`` instead.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Telemetry",
+    "active",
+    "collect_telemetry",
+    "telemetry_path",
+]
+
+
+def telemetry_path(store_path: str) -> str:
+    """The telemetry side-channel for a trial store: ``<store>.telemetry.jsonl``."""
+    return f"{store_path}.telemetry.jsonl"
+
+
+class Telemetry:
+    """One recorder = one event source (the parent process or one worker).
+
+    ``source`` stamps every row (``"main"``, ``"worker-3"``, ...); ``seq``
+    is a per-source monotonic sequence number so merged streams keep a
+    deterministic total order per source even without timestamps.
+    """
+
+    def __init__(self, path: Optional[str] = None, *, source: str = "main"):
+        self.source = source
+        self.path = path
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, List[float]] = {}  # name -> [seconds, count]
+        self.hists: Dict[str, Dict[int, int]] = {}  # name -> {bucket: count}
+        self.t0 = time.perf_counter()  # heartbeat "elapsed" reference
+        self._seq = 0
+        self._fh = open(path, "a", encoding="utf-8") if path else None
+        self._buffer: List[dict] = [] if path is None else None
+
+    # -- aggregates ---------------------------------------------------------
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + int(delta)
+
+    def add_time(self, name: str, seconds: float, passes: int = 1) -> None:
+        cell = self.timers.get(name)
+        if cell is None:
+            self.timers[name] = [float(seconds), int(passes)]
+        else:
+            cell[0] += float(seconds)
+            cell[1] += int(passes)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - t0)
+
+    def observe(self, name: str, value: int) -> None:
+        """Histogram with power-of-two buckets: value v lands in bucket
+        ``v.bit_length()`` (0 stays in bucket 0), so bucket k spans
+        ``[2**(k-1), 2**k)``.  Cheap, bounded, and exact enough for
+        window-width / occupancy distributions."""
+        bucket = int(value).bit_length() if value > 0 else 0
+        hist = self.hists.setdefault(name, {})
+        hist[bucket] = hist.get(bucket, 0) + 1
+
+    def take_aggregates(self) -> dict:
+        """Snapshot-and-reset the aggregates — the worker -> parent
+        transport (plain picklable dicts, like ``FallbackNotes.snapshot``).
+        Workers ship their aggregates back with each block's future, so one
+        parent summary holds the whole campaign and a killed worker loses at
+        most its in-flight block — the trial rows' own crash contract."""
+        snap = {
+            "counters": dict(self.counters),
+            "timers": {k: list(v) for k, v in self.timers.items()},
+            "hists": {k: dict(v) for k, v in self.hists.items()},
+        }
+        self.counters = {}
+        self.timers = {}
+        self.hists = {}
+        return snap
+
+    def merge_aggregates(self, snap: dict) -> None:
+        for name, delta in snap.get("counters", {}).items():
+            self.count(name, delta)
+        for name, (seconds, passes) in snap.get("timers", {}).items():
+            self.add_time(name, seconds, passes)
+        for name, hist in snap.get("hists", {}).items():
+            mine = self.hists.setdefault(name, {})
+            for bucket, count in hist.items():
+                bucket = int(bucket)
+                mine[bucket] = mine.get(bucket, 0) + int(count)
+
+    # -- event stream -------------------------------------------------------
+
+    def emit(self, event: str, **fields) -> None:
+        row = {"event": event, "source": self.source, "seq": self._seq}
+        row.update(fields)
+        self._seq += 1
+        if self._fh is not None:
+            self._fh.write(json.dumps(row, sort_keys=True) + "\n")
+            self._fh.flush()
+        else:
+            self._buffer.append(row)
+
+    def heartbeat(self, **fields) -> None:
+        """Emit a ``heartbeat`` event stamped with this source's monotonic
+        ``elapsed`` (seconds since the recorder started)."""
+        self.emit(
+            "heartbeat",
+            elapsed=round(time.perf_counter() - self.t0, 6),
+            **fields,
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def emit_summary(self) -> None:
+        """Flush the aggregates as one ``summary`` event."""
+        self.emit(
+            "summary",
+            counters=dict(sorted(self.counters.items())),
+            timers={
+                k: {"seconds": round(v[0], 6), "count": v[1]}
+                for k, v in sorted(self.timers.items())
+            },
+            hists={
+                k: {str(b): c for b, c in sorted(v.items())}
+                for k, v in sorted(self.hists.items())
+            },
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    @property
+    def rows(self) -> List[dict]:
+        """Buffered rows (only when constructed without a path — tests)."""
+        return list(self._buffer or [])
+
+
+#: The active recorder.  ``None`` (the default) means telemetry is off and
+#: every instrumentation site is a single ``is None`` check.  Workers MUST
+#: reset this after fork (see ``exp/pool.py``) — an inherited parent
+#: recorder would mean two processes writing one file handle.
+_ACTIVE: Optional[Telemetry] = None
+
+
+def active() -> Optional[Telemetry]:
+    """The currently-installed recorder, or ``None`` when telemetry is off."""
+    return _ACTIVE
+
+
+def _install(tel: Optional[Telemetry]) -> Optional[Telemetry]:
+    """Swap the active recorder; returns the previous one.  Internal — use
+    :func:`collect_telemetry` unless you are worker-init code."""
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = tel
+    return prev
+
+
+@contextmanager
+def collect_telemetry(
+    path: Optional[str] = None, *, source: str = "main"
+) -> Iterator[Telemetry]:
+    """Install a recorder for the duration of the block.
+
+    On exit the aggregates are flushed as a ``summary`` event and the sink
+    is closed.  Nesting replaces the active recorder (restored on exit),
+    matching the ``collect_fallback_notes`` discipline in ``core/batch.py``.
+    """
+    tel = Telemetry(path, source=source)
+    prev = _install(tel)
+    try:
+        yield tel
+    finally:
+        try:
+            tel.emit_summary()
+            tel.close()
+        finally:
+            _install(prev)

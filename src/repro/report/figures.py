@@ -14,7 +14,7 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
-__all__ = ["Series", "svg_loglog"]
+__all__ = ["Series", "svg_lines", "svg_loglog"]
 
 #: Okabe–Ito-ish palette: colorblind-safe, dark enough for white background.
 _COLORS = ("#0072b2", "#d55e00", "#009e73", "#cc79a7", "#56b4e9", "#e69f00")
@@ -141,6 +141,141 @@ def svg_loglog(
                 )
 
     # legend (top-right, one row per series)
+    lx = _W - _MR - 210
+    for i, s in enumerate(series):
+        color = _COLORS[i % len(_COLORS)]
+        ly = _MT + 14 + 18 * i
+        dash = ' stroke-dasharray="6 4"' if s.dashed else ""
+        out.append(
+            f'<line x1="{lx}" y1="{ly}" x2="{lx + 26}" y2="{ly}" '
+            f'stroke="{color}" stroke-width="2"{dash}/>'
+        )
+        out.append(
+            f'<text x="{lx + 32}" y="{ly}" font-size="11" fill="#111111" '
+            f'dominant-baseline="middle">{_esc(s.label)}</text>'
+        )
+
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+def _lin_range(values: List[float]) -> Tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if hi - lo < 1e-12:  # degenerate: pad around the single value
+        pad = abs(hi) * 0.5 or 0.5
+        return lo - pad, hi + pad
+    pad = 0.06 * (hi - lo)
+    return lo - pad, hi + pad
+
+
+def _lin_ticks(lo: float, hi: float) -> List[float]:
+    """5-ish round-number ticks covering [lo, hi]."""
+    span = hi - lo
+    raw = span / 5
+    mag = 10.0 ** math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = mult * mag
+        if span / step <= 6:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-9 * span:
+        ticks.append(0.0 if abs(t) < 1e-12 * span else t)
+        t += step
+    return ticks
+
+
+def _tick_label(v: float) -> str:
+    if v == int(v) and abs(v) < 1e7:
+        return str(int(v))
+    return f"{v:g}"
+
+
+def svg_lines(
+    series: Sequence[Series], *, title: str, xlabel: str, ylabel: str
+) -> str:
+    """Render a linear-axis line chart as a standalone SVG string — the
+    telemetry-timeline sibling of :func:`svg_loglog`, with the same
+    deterministic-bytes discipline (0.01-px coordinates, one float
+    formatter), for data that may touch zero."""
+    if not series:
+        raise ValueError("need at least one series")
+    xs = [float(v) for s in series for v in s.x]
+    ys = [float(v) for s in series for v in s.y]
+    if not xs:
+        raise ValueError("need at least one data point")
+    for s in series:
+        if len(s.x) != len(s.y) or not len(s.x):
+            raise ValueError(f"series {s.label!r}: x and y must be equal-length, non-empty")
+
+    x0, x1 = _lin_range(xs)
+    y0, y1 = _lin_range(ys)
+    pw, ph = _W - _ML - _MR, _H - _MT - _MB
+
+    def px(v: float) -> float:
+        return _ML + (v - x0) / (x1 - x0) * pw
+
+    def py(v: float) -> float:
+        return _MT + (y1 - v) / (y1 - y0) * ph
+
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" height="{_H}" '
+        f'viewBox="0 0 {_W} {_H}" font-family="Helvetica,Arial,sans-serif">',
+        f'<rect width="{_W}" height="{_H}" fill="#ffffff"/>',
+        f'<text x="{_ML}" y="24" font-size="15" fill="#111111">{_esc(title)}</text>',
+    ]
+
+    for t in _lin_ticks(x0, x1):
+        gx = _fnum(px(t))
+        out.append(
+            f'<line x1="{gx}" y1="{_MT}" x2="{gx}" y2="{_H - _MB}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        out.append(
+            f'<text x="{gx}" y="{_H - _MB + 18}" font-size="11" fill="#444444" '
+            f'text-anchor="middle">{_tick_label(t)}</text>'
+        )
+    for t in _lin_ticks(y0, y1):
+        gy = _fnum(py(t))
+        out.append(
+            f'<line x1="{_ML}" y1="{gy}" x2="{_W - _MR}" y2="{gy}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        out.append(
+            f'<text x="{_ML - 8}" y="{gy}" font-size="11" fill="#444444" '
+            f'text-anchor="end" dominant-baseline="middle">{_tick_label(t)}</text>'
+        )
+
+    out.append(
+        f'<rect x="{_ML}" y="{_MT}" width="{pw}" height="{ph}" fill="none" '
+        f'stroke="#333333" stroke-width="1"/>'
+    )
+    out.append(
+        f'<text x="{_ML + pw / 2:.0f}" y="{_H - 14}" font-size="12" fill="#111111" '
+        f'text-anchor="middle">{_esc(xlabel)}</text>'
+    )
+    out.append(
+        f'<text x="18" y="{_MT + ph / 2:.0f}" font-size="12" fill="#111111" '
+        f'text-anchor="middle" transform="rotate(-90 18 {_MT + ph / 2:.0f})">'
+        f"{_esc(ylabel)}</text>"
+    )
+
+    for i, s in enumerate(series):
+        color = _COLORS[i % len(_COLORS)]
+        points = " ".join(f"{_fnum(px(x))},{_fnum(py(y))}" for x, y in zip(s.x, s.y))
+        dash = ' stroke-dasharray="6 4"' if s.dashed else ""
+        out.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2"{dash}/>'
+        )
+        if s.markers:
+            for x, y in zip(s.x, s.y):
+                out.append(
+                    f'<circle cx="{_fnum(px(x))}" cy="{_fnum(py(y))}" r="3.5" '
+                    f'fill="{color}"/>'
+                )
+
     lx = _W - _MR - 210
     for i, s in enumerate(series):
         color = _COLORS[i % len(_COLORS)]

@@ -189,12 +189,12 @@ def sec_budget(bundle: RecordBundle) -> str:
 def sec_engine(bundle: RecordBundle) -> str:
     bench = bundle.bench("engine")
     try:
-        results = bench["results"]["test_run_trials_batched_vs_scalar"]
+        results = bench["results"]["test_run_trials_batched_vs_scalar"]["speedups"]
         rows = [
             [
                 jammer,
-                f"{results[jammer]['scalar_s']:.2f}",
-                f"{results[jammer]['batched_s']:.2f}",
+                f"{results[jammer]['baseline_s']:.2f}",
+                f"{results[jammer]['fast_s']:.2f}",
                 f"{results[jammer]['trials_per_s_scalar']:.2f}",
                 f"{results[jammer]['trials_per_s_batched']:.2f}",
                 f"{results[jammer]['speedup']:.2f}x",
@@ -243,7 +243,7 @@ def sec_arena(bundle: RecordBundle) -> str:
     )
     bench = bundle.bench("arena")
     try:
-        runtime = bench["results"]["test_arena_vs_scalar_runtime"]
+        runtime = bench["results"]["test_arena_vs_scalar_runtime"]["speedups"]
         speedups = ", ".join(
             f"{label} {runtime[key]['speedup']:.1f}x"
             for label, key in (("unjammed", "none"), ("sniper", "sniper"), ("trailing", "trailing"))
@@ -299,7 +299,7 @@ def sec_arena_windowed(bundle: RecordBundle) -> str:
             ("`multicast_c` (C=4)", "test_window_ladder_multicast_c"),
             ("`multicast`", "test_window_ladder_multicast"),
         ):
-            rungs = bench["results"][key]
+            rungs = bench["results"][key]["speedups"]
             speedups = ", ".join(
                 f"L={latency} {rungs[f'latency_{latency}']['speedup']:.1f}x"
                 for latency in (1, 2, 4, 8)
@@ -429,7 +429,7 @@ def sec_limited_adv(bundle: RecordBundle) -> str:
         lines.append(f"`slots ~ C^{fit.exponent:.2f}` at n = {n} (r² = {fit.r2:.3f})")
     bench = bundle.bench("adv_batch")
     try:
-        figures = bench["results"]["test_adv_batched_vs_scalar"]
+        figures = bench["results"]["test_adv_batched_vs_scalar"]["speedups"]
         speedups = ", ".join(
             f"{name} {figures[name]['speedup']:.1f}x" for name in ("adv", "adv_c(C=4)")
         )

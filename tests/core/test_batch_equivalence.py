@@ -327,3 +327,55 @@ class TestDispatcher:
         (batched,) = run_broadcast_batch(MultiCast(N), N, None, [42])
         reference = run_broadcast(MultiCast(N), N, None, seed=42)
         assert_results_equal(batched, reference, ("single-lane", 0))
+
+
+class TestTraceDispatch:
+    """``trace=`` is scalar-only (the recorder captures ONE execution).
+
+    A one-lane batch falls back to the scalar engine — stamped and noted,
+    never silent — and a multi-lane batch raises instead of attaching the
+    recorder to an arbitrary lane or dropping it, which is what the batched
+    and windowed dispatch paths used to do.
+    """
+
+    def test_single_lane_trace_falls_back_scalar(self, capsys):
+        from repro.core.batch import collect_fallback_notes
+        from repro.sim.trace import TraceRecorder
+
+        trace = TraceRecorder()
+        with collect_fallback_notes() as notes:
+            (traced,) = run_broadcast_batch(
+                MultiCast(N), N, None, [42], trace=trace
+            )
+        assert traced.extras.pop("backend") == "scalar-fallback"
+        reference = run_broadcast(MultiCast(N), N, None, seed=42)
+        assert_results_equal(traced, reference, ("trace-fallback", 0))
+        # the trace actually recorded the execution...
+        assert trace.growth
+        assert trace.growth[-1].informed == N
+        # ...and the fallback was noted, once, with the trace-specific cause
+        assert [
+            (reason, lanes)
+            for (_, reason), (lanes, _) in notes.counts.items()
+        ] == [("trace= forces the scalar path", 1)]
+
+    def test_multi_lane_trace_raises(self):
+        from repro.sim.trace import TraceRecorder
+
+        with pytest.raises(ValueError, match="trace recording is scalar-only"):
+            run_broadcast_batch(
+                MultiCast(N), N, None, [1, 2], trace=TraceRecorder()
+            )
+
+    def test_multi_lane_reactive_trace_raises_before_windowed_dispatch(self):
+        """The windowed-arena dispatch path must not swallow trace= either."""
+        from repro.adversary.reactive import ReactiveLatencyJammer
+        from repro.sim.trace import TraceRecorder
+
+        adversaries = [
+            ReactiveLatencyJammer(500, latency=2, k=2, seed=s) for s in (1, 2)
+        ]
+        with pytest.raises(ValueError, match="trace recording is scalar-only"):
+            run_broadcast_batch(
+                MultiCast(N), N, adversaries, [1, 2], trace=TraceRecorder()
+            )

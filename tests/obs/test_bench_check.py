@@ -1,0 +1,137 @@
+"""The perf-regression gate: ``check_bench`` over BENCH_*.json files.
+
+Floors are recorded next to the speedups they bound (one schema, one
+writer — ``benchmarks/conftest.py``'s ``record_speedup``), so the gate
+needs no knowledge of individual benches: every recorded speedup meets
+its own floor, and in baseline mode every baseline case must exist in
+the fresh run and meet the *baseline's* floor.
+"""
+
+import json
+
+from repro.obs.bench import SCHEMA_VERSION, check_bench, load_bench_files
+
+
+def _write(dirpath, name, data):
+    path = dirpath / f"BENCH_{name}.json"
+    path.write_text(json.dumps(data) + "\n")
+    return path
+
+
+def _bench(name, speedup=5.0, floor=2.0, test="test_x", case="case"):
+    return {
+        "bench": name,
+        "schema": SCHEMA_VERSION,
+        "smoke": False,
+        "results": {
+            test: {
+                "speedups": {
+                    case: {"baseline_s": 10.0, "fast_s": 2.0,
+                           "speedup": speedup, "floor": floor}
+                }
+            }
+        },
+    }
+
+
+def test_load_bench_files_keys_by_bench_name(tmp_path):
+    _write(tmp_path, "engine", _bench("engine"))
+    _write(tmp_path, "arena", _bench("arena"))
+    assert sorted(load_bench_files(str(tmp_path))) == ["arena", "engine"]
+
+
+def test_empty_dir_fails(tmp_path):
+    ok, lines = check_bench(str(tmp_path))
+    assert not ok
+    assert "no BENCH_*.json" in lines[0]
+
+
+def test_speedup_meeting_floor_passes(tmp_path):
+    _write(tmp_path, "engine", _bench("engine", speedup=3.0, floor=2.0))
+    ok, lines = check_bench(str(tmp_path))
+    assert ok
+    assert lines[-1] == "check-bench: PASS"
+
+
+def test_speedup_below_floor_fails(tmp_path):
+    _write(tmp_path, "engine", _bench("engine", speedup=1.5, floor=2.0))
+    ok, lines = check_bench(str(tmp_path))
+    assert not ok
+    assert any("speedup 1.5 < floor 2.0" in line for line in lines)
+
+
+def test_wrong_schema_fails(tmp_path):
+    data = _bench("engine")
+    data["schema"] = 99
+    _write(tmp_path, "engine", data)
+    ok, lines = check_bench(str(tmp_path))
+    assert not ok
+    assert any("schema" in line and "FAIL" in line for line in lines)
+
+
+def test_missing_floor_fails(tmp_path):
+    data = _bench("engine")
+    del data["results"]["test_x"]["speedups"]["case"]["floor"]
+    _write(tmp_path, "engine", data)
+    ok, lines = check_bench(str(tmp_path))
+    assert not ok
+    assert any("missing speedup/floor" in line for line in lines)
+
+
+def test_shape_only_bench_passes(tmp_path):
+    _write(tmp_path, "shard", {
+        "bench": "shard", "schema": SCHEMA_VERSION, "smoke": False,
+        "results": {"test_y": {"wall_time_s": 1.0}},
+    })
+    ok, lines = check_bench(str(tmp_path))
+    assert ok
+    assert any("shape-only" in line for line in lines)
+
+
+class TestBaselineMode:
+    def test_fresh_meeting_baseline_floor_passes(self, tmp_path):
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        fresh.mkdir(), base.mkdir()
+        _write(base, "engine", _bench("engine", speedup=5.0, floor=2.0))
+        _write(fresh, "engine", _bench("engine", speedup=2.5, floor=2.0))
+        ok, _ = check_bench(str(fresh), str(base))
+        assert ok
+
+    def test_fresh_below_baseline_floor_fails(self, tmp_path):
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        fresh.mkdir(), base.mkdir()
+        _write(base, "engine", _bench("engine", speedup=5.0, floor=2.0))
+        # fresh run passes its own (regenerated, looser) floor but regressed
+        # below the committed baseline's floor — the gate must catch it
+        _write(fresh, "engine", _bench("engine", speedup=1.5, floor=1.0))
+        ok, lines = check_bench(str(fresh), str(base))
+        assert not ok
+        assert any("fresh speedup 1.5 < baseline floor 2.0" in line for line in lines)
+
+    def test_bench_missing_from_fresh_run_fails(self, tmp_path):
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        fresh.mkdir(), base.mkdir()
+        _write(base, "engine", _bench("engine"))
+        _write(base, "arena", _bench("arena"))
+        _write(fresh, "engine", _bench("engine"))
+        ok, lines = check_bench(str(fresh), str(base))
+        assert not ok
+        assert any("arena: in baseline but missing" in line for line in lines)
+
+    def test_case_missing_from_fresh_run_fails(self, tmp_path):
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        fresh.mkdir(), base.mkdir()
+        _write(base, "engine", _bench("engine", case="jammed"))
+        _write(fresh, "engine", _bench("engine", case="unjammed"))
+        ok, lines = check_bench(str(fresh), str(base))
+        assert not ok
+        assert any("case missing from fresh run" in line for line in lines)
+
+    def test_committed_bench_files_pass_the_gate(self):
+        # the real committed records are the CI gate's ground truth — they
+        # must stay valid under their own floors
+        from pathlib import Path
+
+        committed = Path(__file__).resolve().parents[2] / "benchmarks"
+        ok, lines = check_bench(str(committed))
+        assert ok, "\n".join(lines)

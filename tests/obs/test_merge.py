@@ -1,0 +1,85 @@
+"""Telemetry shard merge: worker-order concatenation, crash tolerance.
+
+``merge_telemetry_shards`` is ``exp/shard.py``'s sibling without the
+dedup step (events are observations, not idempotent facts); what it must
+guarantee is a deterministic worker-index order, tolerance for the torn
+final line of a killed worker, and shard deletion after the fold.
+"""
+
+import json
+
+from repro.obs.merge import (
+    merge_telemetry_shards,
+    telemetry_shard_path,
+    telemetry_shard_paths,
+)
+from repro.obs.recorder import telemetry_path
+
+
+def _write_shard(store, worker, rows):
+    path = telemetry_shard_path(store, worker)
+    with open(path, "w") as fh:
+        for row in rows:
+            fh.write(json.dumps(row) + "\n")
+    return path
+
+
+def _read(path):
+    return [json.loads(line) for line in open(path)]
+
+
+def test_shard_path_naming():
+    assert (
+        telemetry_shard_path("/x/run.jsonl", 3)
+        == "/x/run.jsonl.telemetry.shard-3.jsonl"
+    )
+
+
+def test_shard_discovery_is_worker_ordered(tmp_path):
+    store = str(tmp_path / "run.jsonl")
+    # create out of order (and with a double-digit worker so lexicographic
+    # ordering would get it wrong)
+    for worker in (10, 2, 0):
+        _write_shard(store, worker, [{"w": worker}])
+    assert telemetry_shard_paths(store) == [
+        telemetry_shard_path(store, w) for w in (0, 2, 10)
+    ]
+
+
+def test_merge_concatenates_in_worker_order_and_deletes(tmp_path):
+    store = str(tmp_path / "run.jsonl")
+    _write_shard(store, 1, [{"w": 1, "seq": 0}, {"w": 1, "seq": 1}])
+    _write_shard(store, 0, [{"w": 0, "seq": 0}])
+    assert merge_telemetry_shards(store) == 3
+    rows = _read(telemetry_path(store))
+    assert [(r["w"], r["seq"]) for r in rows] == [(0, 0), (1, 0), (1, 1)]
+    assert telemetry_shard_paths(store) == []
+
+
+def test_merge_appends_to_existing_stream(tmp_path):
+    store = str(tmp_path / "run.jsonl")
+    with open(telemetry_path(store), "w") as fh:
+        fh.write(json.dumps({"event": "existing"}) + "\n")
+    _write_shard(store, 0, [{"event": "fresh"}])
+    merge_telemetry_shards(store)
+    assert [r["event"] for r in _read(telemetry_path(store))] == [
+        "existing",
+        "fresh",
+    ]
+
+
+def test_merge_drops_torn_final_line(tmp_path):
+    store = str(tmp_path / "run.jsonl")
+    path = _write_shard(store, 0, [{"ok": 1}])
+    with open(path, "a") as fh:
+        fh.write('{"torn": tru')  # killed mid-write
+    assert merge_telemetry_shards(store) == 1
+    assert _read(telemetry_path(store)) == [{"ok": 1}]
+
+
+def test_merge_without_shards_is_a_noop(tmp_path):
+    store = str(tmp_path / "run.jsonl")
+    assert merge_telemetry_shards(store) == 0
+    import os
+
+    assert not os.path.exists(telemetry_path(store))

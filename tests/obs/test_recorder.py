@@ -1,0 +1,153 @@
+"""Unit contract of the telemetry recorder (``repro.obs.recorder``).
+
+The recorder is the one piece every instrumented layer depends on, so its
+semantics are pinned tightly: aggregate arithmetic, the snapshot/merge
+worker transport, the event-stream framing (source + per-source seq), and
+the install/restore discipline of ``collect_telemetry``.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.recorder import (
+    Telemetry,
+    active,
+    collect_telemetry,
+    telemetry_path,
+)
+
+
+class TestAggregates:
+    def test_counters_accumulate(self):
+        tel = Telemetry()
+        tel.count("x")
+        tel.count("x", 4)
+        tel.count("y", 0)
+        assert tel.counters == {"x": 5, "y": 0}
+
+    def test_timers_accumulate_seconds_and_passes(self):
+        tel = Telemetry()
+        tel.add_time("k", 0.5)
+        tel.add_time("k", 0.25, passes=3)
+        assert tel.timers == {"k": [0.75, 4]}
+
+    def test_timer_contextmanager_counts_one_pass(self):
+        tel = Telemetry()
+        with tel.timer("k"):
+            pass
+        assert tel.timers["k"][1] == 1
+        assert tel.timers["k"][0] >= 0
+
+    @pytest.mark.parametrize(
+        "value,bucket", [(0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4)]
+    )
+    def test_observe_power_of_two_buckets(self, value, bucket):
+        tel = Telemetry()
+        tel.observe("h", value)
+        assert tel.hists["h"] == {bucket: 1}
+
+    def test_take_aggregates_snapshots_and_resets(self):
+        tel = Telemetry()
+        tel.count("c", 2)
+        tel.add_time("t", 1.0)
+        tel.observe("h", 4)
+        snap = tel.take_aggregates()
+        assert snap == {
+            "counters": {"c": 2},
+            "timers": {"t": [1.0, 1]},
+            "hists": {"h": {3: 1}},
+        }
+        assert tel.counters == {} and tel.timers == {} and tel.hists == {}
+
+    def test_merge_aggregates_folds_a_snapshot_in(self):
+        a, b = Telemetry(), Telemetry()
+        for tel in (a, b):
+            tel.count("c", 3)
+            tel.add_time("t", 0.5, passes=2)
+            tel.observe("h", 2)
+        a.merge_aggregates(b.take_aggregates())
+        assert a.counters == {"c": 6}
+        assert a.timers == {"t": [1.0, 4]}
+        assert a.hists == {"h": {2: 2}}
+
+    def test_merge_accepts_json_roundtripped_snapshot(self):
+        # worker snapshots travel through pickling today, but the summary
+        # path stringifies hist buckets — merge must take both spellings
+        a, b = Telemetry(), Telemetry()
+        b.observe("h", 4)
+        snap = json.loads(json.dumps(b.take_aggregates()))
+        a.merge_aggregates(snap)
+        assert a.hists == {"h": {3: 1}}
+
+
+class TestEventStream:
+    def test_rows_carry_source_and_monotonic_seq(self):
+        tel = Telemetry(source="worker-2")
+        tel.emit("alpha", x=1)
+        tel.emit("beta")
+        rows = tel.rows
+        assert [r["event"] for r in rows] == ["alpha", "beta"]
+        assert [r["seq"] for r in rows] == [0, 1]
+        assert all(r["source"] == "worker-2" for r in rows)
+
+    def test_heartbeat_stamps_elapsed(self):
+        tel = Telemetry()
+        tel.heartbeat(trials=5)
+        (row,) = tel.rows
+        assert row["event"] == "heartbeat"
+        assert row["trials"] == 5
+        assert row["elapsed"] >= 0
+
+    def test_summary_serializes_sorted_aggregates(self):
+        tel = Telemetry()
+        tel.count("b")
+        tel.count("a")
+        tel.add_time("t", 0.5)
+        tel.observe("h", 1)
+        tel.emit_summary()
+        (row,) = tel.rows
+        assert row["event"] == "summary"
+        assert list(row["counters"]) == ["a", "b"]
+        assert row["timers"] == {"t": {"seconds": 0.5, "count": 1}}
+        assert row["hists"] == {"h": {"1": 1}}
+
+    def test_file_sink_writes_jsonl(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tel = Telemetry(path)
+        tel.emit("ping", n=1)
+        tel.close()
+        rows = [json.loads(line) for line in open(path)]
+        assert rows == [{"event": "ping", "n": 1, "seq": 0, "source": "main"}]
+
+
+class TestCollectTelemetry:
+    def test_installs_and_restores(self):
+        assert active() is None
+        with collect_telemetry() as tel:
+            assert active() is tel
+        assert active() is None
+
+    def test_nesting_shadows_then_restores(self):
+        with collect_telemetry() as outer:
+            with collect_telemetry() as inner:
+                assert active() is inner
+            assert active() is outer
+
+    def test_exit_appends_summary_to_sink(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with collect_telemetry(path) as tel:
+            tel.count("c")
+        rows = [json.loads(line) for line in open(path)]
+        assert rows[-1]["event"] == "summary"
+        assert rows[-1]["counters"] == {"c": 1}
+
+    def test_restores_even_when_body_raises(self):
+        with pytest.raises(RuntimeError):
+            with collect_telemetry():
+                raise RuntimeError("boom")
+        assert active() is None
+
+
+def test_telemetry_path_is_a_store_sibling():
+    assert telemetry_path("/x/run.jsonl") == "/x/run.jsonl.telemetry.jsonl"

@@ -230,3 +230,93 @@ class TestReport:
         assert main(["report", "--root", str(root)]) == 0
         assert "wrote CLAIMS.md" in capsys.readouterr().out
         assert main(["report", "--check", "--root", str(root)]) == 0
+
+
+class TestObs:
+    """``repro sweep --telemetry`` + ``repro obs``: the CLI face of repro.obs."""
+
+    SWEEP = [
+        "sweep", "--protocols", "multicast", "--jammers", "blanket",
+        "--n", "16", "--budget", "3000", "--trials", "2", "--quiet",
+    ]
+
+    def _telemetry_sweep(self, tmp_path, capsys):
+        store = str(tmp_path / "run.jsonl")
+        rc = main(self.SWEEP + ["--store", store, "--telemetry"])
+        assert rc == 0
+        capsys.readouterr()
+        return store
+
+    def test_sweep_telemetry_then_obs_report(self, tmp_path, capsys):
+        store = self._telemetry_sweep(tmp_path, capsys)
+        rc = main(["obs", store])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "== repro.obs run report ==" in out
+        assert "-- kernels --" in out
+        assert "batch.kernel_passes" in out
+
+    def test_sweep_telemetry_prints_summary_pointer(self, tmp_path, capsys):
+        store = str(tmp_path / "run.jsonl")
+        rc = main(self.SWEEP + ["--store", store, "--telemetry"])
+        err = capsys.readouterr().err
+        assert rc == 0
+        assert "telemetry:" in err
+        assert "repro obs" in err
+
+    def test_obs_writes_figures(self, tmp_path, capsys):
+        store = self._telemetry_sweep(tmp_path, capsys)
+        figdir = str(tmp_path / "figs")
+        rc = main(["obs", store, "--figures", figdir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "telemetry_throughput.svg" in out
+
+    def test_sweep_progress_line_reports_trials_per_second(self, capsys):
+        args = [a for a in self.SWEEP if a != "--quiet"]
+        rc = main(args + ["--workers", "1"])
+        err = capsys.readouterr().err
+        assert rc == 0
+        progress = [line for line in err.splitlines() if line.startswith("[")]
+        assert progress
+        for line in progress:
+            assert "trials/s" in line, line
+
+    def test_telemetry_without_store_exits(self):
+        with pytest.raises(SystemExit, match="--store"):
+            main(self.SWEEP + ["--telemetry"])
+
+    def test_obs_without_store_exits(self):
+        with pytest.raises(SystemExit, match="store"):
+            main(["obs"])
+
+    def test_obs_missing_stream_points_at_telemetry_flag(self, tmp_path):
+        with pytest.raises(SystemExit, match="--telemetry"):
+            main(["obs", str(tmp_path / "never-ran.jsonl")])
+
+    def test_obs_check_bench_gates_committed_records(self, capsys):
+        import pathlib
+
+        benchdir = str(pathlib.Path(__file__).resolve().parents[1] / "benchmarks")
+        rc = main(["obs", "--check-bench", benchdir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "check-bench: PASS" in out
+
+    def test_obs_check_bench_fails_on_floor_violation(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "BENCH_x.json").write_text(json.dumps({
+            "bench": "x", "schema": 1, "smoke": True,
+            "results": {"t": {"speedups": {"c": {
+                "baseline_s": 1.0, "fast_s": 1.0, "speedup": 1.0, "floor": 2.0,
+            }}}},
+        }))
+        rc = main(["obs", "--check-bench", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "check-bench: FAIL" in out
+
+    def test_obs_baseline_requires_check_bench(self, tmp_path):
+        with pytest.raises(SystemExit, match="check-bench"):
+            main(["obs", str(tmp_path / "s.jsonl"), "--baseline", str(tmp_path)])
