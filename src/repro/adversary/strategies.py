@@ -81,6 +81,21 @@ def _floyd_sample(rng: np.random.Generator, C: int, k: int) -> np.ndarray:
     return np.fromiter(chosen, dtype=np.int64, count=k)
 
 
+def _uniform_rows_block(
+    K: int, C: int, active_rows: np.ndarray, channels: np.ndarray
+) -> JamBlock:
+    """CSR block with the same entry count on every active row; ``channels``
+    is the row-major concatenation, already sorted within rows.  Equivalent
+    to :meth:`JamBlock.from_rows` minus its per-row python loop — strategy
+    proposals run once per lane per kernel pass, so this constructor is on
+    the hot path of every batched campaign."""
+    counts = np.zeros(K, dtype=np.int64)
+    counts[active_rows] = channels.size // max(1, active_rows.size)
+    indptr = np.zeros(K + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return JamBlock(K, C, indptr, channels)
+
+
 def _subset_block(
     rng: np.random.Generator,
     K: int,
@@ -102,14 +117,15 @@ def _subset_block(
         active_rows = active_rows[:max_rows]
     nrows = active_rows.size
     if k >= C:
-        per_row = [np.arange(C, dtype=np.int64)] * nrows
-    elif C <= _VECTOR_SAMPLE_LIMIT:
+        return _uniform_rows_block(
+            K, C, active_rows, np.tile(np.arange(C, dtype=np.int64), nrows)
+        )
+    if C <= _VECTOR_SAMPLE_LIMIT:
         keys = rng.random((nrows, C))
         idx = np.argpartition(keys, k - 1, axis=1)[:, :k]
         idx.sort(axis=1)
-        per_row = list(idx.astype(np.int64))
-    else:
-        per_row = [np.sort(_floyd_sample(rng, C, k)) for _ in range(nrows)]
+        return _uniform_rows_block(K, C, active_rows, idx.astype(np.int64).ravel())
+    per_row = [np.sort(_floyd_sample(rng, C, k)) for _ in range(nrows)]
     return JamBlock.from_rows(K, C, active_rows, per_row)
 
 
@@ -123,7 +139,9 @@ def _prefix_block(
         max_rows = max(1, -(-int(entry_cap) // k) + 1)
         active_rows = active_rows[:max_rows]
     prefix = np.arange(min(k, C), dtype=np.int64)
-    return JamBlock.from_rows(K, C, active_rows, [prefix] * active_rows.size)
+    return _uniform_rows_block(
+        K, C, active_rows, np.tile(prefix, active_rows.size)
+    )
 
 
 def _duty_cycle_rows(start_slot: int, num_slots: int, fraction: float) -> np.ndarray:

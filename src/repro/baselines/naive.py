@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.result import BroadcastResult
 from repro.core.runner import spread_block
+from repro.obs.recorder import active as _obs_active
 from repro.sim.channel import ACT_LISTEN, ACT_SEND_MSG
 from repro.sim.engine import RadioNetwork, SlotLimitExceeded
 from repro.sim.trace import TraceRecorder
@@ -223,6 +224,13 @@ class NaiveEpidemic:
                     if linger_left[lane] <= 0:
                         live[lane] = False
 
+        tel = _obs_active()
+        if tel is not None:
+            # book the lanes like run_iterations_batch does, so the
+            # occupancy invariant (every trial in exactly one lane counter)
+            # holds for bespoke run_batch protocols too
+            tel.count("batch.batches")
+            tel.count("batch.lanes", B)
         return [
             BroadcastResult(
                 protocol=self.name,

@@ -58,24 +58,58 @@ from repro.core.result import BroadcastResult
 from repro.sim.engine import BatchNetwork
 from repro.sim.jam import JamBlock
 
-__all__ = ["run_adv_batch"]
+__all__ = ["run_adv_batch", "run_adv_stream"]
 
 
 def _participants(coins: np.ndarray, channels: np.ndarray, active: np.ndarray,
-                  threshold: float, C: int) -> Tuple[np.ndarray, ...]:
-    """Extract the ``(lane, row, node)`` triples whose coin clears
-    ``threshold`` (masked to active nodes), plus their flat cell keys in the
-    lane-stacked jam key space ``(lane*K + row) * C + channel``."""
-    L, K, n = coins.shape
-    hit = coins < threshold
+                  threshold: np.ndarray, offsets: np.ndarray,
+                  Cmax: int) -> Tuple[np.ndarray, ...]:
+    """Extract the ``(lane, row, node)`` triples whose coin clears the lane's
+    ``threshold`` (masked to active nodes) from a ragged lane-major block —
+    ``coins``/``channels`` are ``(T, n)`` with lane ``l`` owning rows
+    ``offsets[l]:offsets[l+1]`` — plus flat cell keys in the common key
+    space ``global_row * Cmax + channel`` (rows are globally disjoint, so
+    keys from lanes with different channel counts never collide)."""
+    T, n = coins.shape
+    L = offsets.size - 1
+    lane_of_row = np.repeat(np.arange(L, dtype=np.int64), np.diff(offsets))
+    hit = coins < threshold[lane_of_row][:, None]
     if not active.all():
-        hit &= active[:, None, :]
+        hit &= active[lane_of_row]
     flat = np.flatnonzero(hit)
-    lane = flat // (K * n)
-    row = (flat // n) % K
+    grow = flat // n  # global (concatenated) row
     node = flat % n
-    cell = (lane * np.int64(K) + row) * np.int64(C) + channels.ravel()[flat]
+    lane = lane_of_row[grow]
+    row = grow - offsets[lane]  # lane-local row — scalar-stream position
+    cell = grow * np.int64(Cmax) + channels.ravel()[flat]
     return flat, lane, row, node, cell
+
+
+def _member_keys(sorted_keys: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Membership of each query key in a sorted key array (the unstacked
+    analogue of :meth:`JamBlock.lookup_keys`)."""
+    if not sorted_keys.size:
+        return np.zeros(query.shape[0], dtype=bool)
+    idx = np.minimum(
+        np.searchsorted(sorted_keys, query, side="left"), sorted_keys.size - 1
+    )
+    return sorted_keys[idx] == query
+
+
+def _ragged_jam_keys(blocks, offsets: np.ndarray, Cmax: int) -> np.ndarray:
+    """Sorted global jam keys for per-lane :class:`JamBlock`\\ s: lane ``l``'s
+    ``(row, channel)`` entries become ``(offsets[l] + row) * Cmax + channel``.
+    Lane-major concatenation of the per-lane (row-major sorted) key arrays is
+    globally sorted, because global rows are disjoint and ascending."""
+    parts = []
+    for l, block in enumerate(blocks):
+        if block.total() == 0:
+            continue
+        rows = np.repeat(np.arange(block.K, dtype=np.int64), block.counts())
+        parts.append((np.int64(offsets[l]) + rows) * np.int64(Cmax) + block.channels)
+    if not parts:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(parts)
 
 
 def _counts_by_node(lane: np.ndarray, node: np.ndarray, mask: np.ndarray,
@@ -95,13 +129,15 @@ def _count_at(sorted_cells: np.ndarray, query: np.ndarray) -> np.ndarray:
     return hi - lo
 
 
-def _adv_step_one_block(
+def _adv_step_one_ragged(
     channels: np.ndarray,
     coins: np.ndarray,
-    jam: JamBlock,
+    jam_keys: np.ndarray,
+    offsets: np.ndarray,
+    p: np.ndarray,
+    Cmax: int,
     informed: np.ndarray,
     active: np.ndarray,
-    p: float,
     *,
     slot0: np.ndarray,
     informed_slot: Optional[np.ndarray] = None,
@@ -109,16 +145,18 @@ def _adv_step_one_block(
     """Resolve one step-I block of every lane, returning
     ``(listen_counts, send_counts, informed)``.
 
-    Inputs are lane-stacked: ``channels``/``coins`` are ``(L, K, n)``,
-    ``informed``/``active``/``informed_slot`` are ``(L, n)`` (the latter
-    updated in place with event slots), ``jam`` is the lanes' stacked
-    :class:`~repro.sim.jam.JamBlock` of ``L*K`` rows, ``slot0`` each lane's
-    global slot of row 0.
+    Inputs are ragged lane-major: ``channels``/``coins`` are ``(T, n)`` with
+    lane ``l`` owning rows ``offsets[l]:offsets[l+1]`` (lanes may carry
+    different row counts and different channel counts — ``p`` is per lane,
+    ``jam_keys`` the sorted global jam keys in the common ``Cmax`` space from
+    :func:`_ragged_jam_keys`); ``informed``/``active``/``informed_slot`` are
+    ``(L, n)`` (the latter updated in place with event slots), ``slot0``
+    each lane's global slot of its row 0.
 
     The step-I action rule makes the *same draw* a listen or a send
     depending on when its node learned ``m`` (captured as a per-node
-    informing row; -1 = knew at entry, K = never in this block): a hit is a
-    send iff its row is past its node's informing row, a listen otherwise.
+    informing row; -1 = knew at entry, NEVER = not in this block): a hit is
+    a send iff its row is past its node's informing row, a listen otherwise.
     An uninformed listener hears ``m`` iff its (row, cell) holds exactly one
     current send and no jamming.  Events only add sends at rows *past* the
     informing row being set, so processing the earliest hearing per lane
@@ -127,11 +165,15 @@ def _adv_step_one_block(
     advancing one event per pass.  Dissemination needs at most n-1 events
     per lane per run, and the expensive late phases have none.
     """
-    L, K, n = coins.shape
-    flat, lane, row, node, cell = _participants(coins, channels, active, p, jam.C)
-    jam_at = jam.lookup_keys(cell)
+    T, n = coins.shape
+    L = offsets.size - 1
+    flat, lane, row, node, cell = _participants(
+        coins, channels, active, p, offsets, Cmax
+    )
+    jam_at = _member_keys(jam_keys, cell)
 
-    NEVER = np.int64(K)  # sentinel informing row: not informed in this block
+    # sentinel informing row: larger than any lane-local row in this block
+    NEVER = np.int64(np.diff(offsets).max() if L else 0)
     informing_row = np.where(informed, np.int64(-1), NEVER)  # (L, n)
     frontier = np.full(L, -1, dtype=np.int64)  # rows <= frontier are settled
     while True:
@@ -167,17 +209,51 @@ def _adv_step_one_block(
     return listen_counts, send_counts, informing_row < NEVER
 
 
-def _adv_step_two_block(
+def _adv_step_one_block(
     channels: np.ndarray,
     coins: np.ndarray,
     jam: JamBlock,
     informed: np.ndarray,
     active: np.ndarray,
     p: float,
+    *,
+    slot0: np.ndarray,
+    informed_slot: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fixed-shape step-I adapter: ``(L, K, n)`` lane-stacked inputs routed
+    through :func:`_adv_step_one_ragged` with uniform offsets.  The stacked
+    jam block's cached keys are already the global ``(lane*K + row) * C +
+    channel`` space the ragged kernel expects."""
+    L, K, n = coins.shape
+    offsets = np.arange(L + 1, dtype=np.int64) * K
+    return _adv_step_one_ragged(
+        channels.reshape(L * K, n),
+        coins.reshape(L * K, n),
+        jam._keys(),
+        offsets,
+        np.full(L, p, dtype=np.float64),
+        jam.C,
+        informed,
+        active,
+        slot0=slot0,
+        informed_slot=informed_slot,
+    )
+
+
+def _adv_step_two_ragged(
+    channels: np.ndarray,
+    coins: np.ndarray,
+    jam_keys: np.ndarray,
+    offsets: np.ndarray,
+    p: np.ndarray,
+    Cmax: int,
+    informed: np.ndarray,
+    active: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray, dict]:
     """Resolve one step-II block of every lane, returning
     ``(listen_counts, send_counts, counters)`` with ``counters`` holding the
-    ``(L, n)`` N_m / N'_m / N_n / N_s increments.
+    ``(L, n)`` N_m / N'_m / N_n / N_s increments.  Ragged lane-major inputs
+    as in :func:`_adv_step_one_ragged`.
 
     Statuses are frozen (paper section 6.2), so there is no event loop: a
     hit listens below ``p`` and broadcasts in ``[p, 2p)`` — the payload is
@@ -186,9 +262,12 @@ def _adv_step_two_block(
     would: noise iff its cell is jammed or holds >= 2 broadcasts, else the
     payload of its single broadcaster, else silence.
     """
-    L, K, n = coins.shape
-    flat, lane, row, node, cell = _participants(coins, channels, active, 2 * p, jam.C)
-    is_listen = coins.ravel()[flat] < p
+    T, n = coins.shape
+    L = offsets.size - 1
+    flat, lane, row, node, cell = _participants(
+        coins, channels, active, 2.0 * p, offsets, Cmax
+    )
+    is_listen = coins.ravel()[flat] < p[lane]
     listen_counts = _counts_by_node(lane, node, is_listen, L, n)
     send_counts = _counts_by_node(lane, node, ~is_listen, L, n)
 
@@ -201,7 +280,7 @@ def _adv_step_two_block(
     msg = _count_at(msg_cells, lcell)
     beacon = _count_at(beacon_cells, lcell)
     total = msg + beacon
-    noisy = jam.lookup_keys(lcell) | (total >= 2)
+    noisy = _member_keys(jam_keys, lcell) | (total >= 2)
     got_msg = ~noisy & (total == 1) & (msg == 1)
     got_beacon = ~noisy & (total == 1) & (beacon == 1)
     silent = ~noisy & (total == 0)
@@ -217,6 +296,30 @@ def _adv_step_two_block(
         "silence": _counts_by_node(l_lane, l_node, silent, L, n),
     }
     return listen_counts, send_counts, counters
+
+
+def _adv_step_two_block(
+    channels: np.ndarray,
+    coins: np.ndarray,
+    jam: JamBlock,
+    informed: np.ndarray,
+    active: np.ndarray,
+    p: float,
+) -> Tuple[np.ndarray, np.ndarray, dict]:
+    """Fixed-shape step-II adapter over :func:`_adv_step_two_ragged` (see
+    :func:`_adv_step_one_block`)."""
+    L, K, n = coins.shape
+    offsets = np.arange(L + 1, dtype=np.int64) * K
+    return _adv_step_two_ragged(
+        channels.reshape(L * K, n),
+        coins.reshape(L * K, n),
+        jam._keys(),
+        offsets,
+        np.full(L, p, dtype=np.float64),
+        jam.C,
+        informed,
+        active,
+    )
 
 
 def run_adv_batch(proto, bnet: BatchNetwork) -> List[BroadcastResult]:
@@ -275,10 +378,11 @@ def run_adv_batch(proto, bnet: BatchNetwork) -> List[BroadcastResult]:
         i += 1
 
     tel = _obs_active()
-    if tel is not None and B > 1:
-        # straggler wait: slots the slowest lane ran past the second-slowest
-        clocks = np.sort(bnet.clocks)
-        tel.count("adv_batch.straggler_slots", int(clocks[-1] - clocks[-2]))
+    if tel is not None:
+        if B > 1:
+            # straggler wait: slots the slowest lane ran past the second-slowest
+            clocks = np.sort(bnet.clocks)
+            tel.count("adv_batch.straggler_slots", int(clocks[-1] - clocks[-2]))
         tel.count("adv_batch.batches")
         tel.count("adv_batch.lanes", B)
 
@@ -361,6 +465,10 @@ def _run_phase_batch(
             tel.add_time("adv_batch.kernel_s", time.perf_counter() - t0)
             tel.count("adv_batch.kernel_passes")
             tel.observe("adv_batch.occupancy", int(lane_ids.size))
+            tel.count("adv_batch.lane_passes", int(lane_ids.size))
+            tel.count("adv_batch.idle_lane_passes", int(bnet.B - lane_ids.size))
+            if lane_ids.size == 1 and bnet.B > 1:
+                tel.count("adv_batch.solo_slots", int(K))
         overrun = bnet.commit_counts(lane_ids, listen_counts, send_counts, K)
         # informed_slot is adopted even for a lane whose commit overran (the
         # scalar path raises *after* the event loop's in-place update);
@@ -404,6 +512,10 @@ def _run_phase_batch(
             tel.add_time("adv_batch.kernel_s", time.perf_counter() - t0)
             tel.count("adv_batch.kernel_passes")
             tel.observe("adv_batch.occupancy", int(lane_ids.size))
+            tel.count("adv_batch.lane_passes", int(lane_ids.size))
+            tel.count("adv_batch.idle_lane_passes", int(bnet.B - lane_ids.size))
+            if lane_ids.size == 1 and bnet.B > 1:
+                tel.count("adv_batch.solo_slots", int(K))
         overrun = bnet.commit_counts(lane_ids, listen_counts, send_counts, K)
         if overrun.any():
             # the overrunning lane's block counters are dropped — the scalar
@@ -450,3 +562,279 @@ def _run_phase_batch(
         helper_epoch[lane_ids] = hep
         helper_phase[lane_ids] = hph
     return lane_ids
+
+
+def run_adv_stream(proto, stream) -> List[BroadcastResult]:
+    """Continuous-batching counterpart of :func:`run_adv_batch`.
+
+    Slots are *not* in lockstep: each slot carries its own (epoch, phase,
+    step) position and remaining-slot count, every pass merges the occupied
+    slots of a step into one ragged kernel call (per-lane row counts, listen
+    probabilities *and channel counts* — step partitioning keeps the two
+    kernels' distinct event semantics), and a slot that retires — halted at
+    an epoch boundary, overrun mid-phase, or out of epochs — is refilled
+    from the stream's pending queue instead of idling until the batch
+    drains.  Lanes retire mid-epoch only on overrun (matching the scalar
+    ``SlotLimitExceeded``); a fully-halted lane still draws its remaining
+    phases and leaves at the epoch boundary, exactly like the scalar while
+    loop.  Per-trial results are bit-identical to :func:`run_adv_batch` and
+    the scalar path (DESIGN.md section 13).
+    """
+    bnet = stream.bnet
+    n = bnet.n  # MultiCastAdv is n-agnostic, like run_adv_batch
+    W = stream.width
+    status = np.full((W, n), STATUS_UN, dtype=np.int8)
+    informed_slot = np.full((W, n), -1, dtype=np.int64)
+    halt_slot = np.full((W, n), -1, dtype=np.int64)
+    helper_epoch = np.full((W, n), -1, dtype=np.int64)
+    helper_phase = np.full((W, n), -1, dtype=np.int64)
+    completed = np.ones(W, dtype=bool)
+    epochs_run = np.zeros(W, dtype=np.int64)
+    occupied = np.ones(W, dtype=bool)
+    # phase machine, per slot
+    epoch_i = np.zeros(W, dtype=np.int64)
+    slot_phases: List[list] = [[] for _ in range(W)]
+    phase_pos = np.zeros(W, dtype=np.int64)
+    step = np.ones(W, dtype=np.int8)  # 1 = dissemination, 2 = adjustment
+    remaining = np.zeros(W, dtype=np.int64)
+    R_arr = np.zeros(W, dtype=np.int64)
+    p_arr = np.zeros(W, dtype=np.float64)
+    C_arr = np.zeros(W, dtype=np.int64)
+    j_arr = np.zeros(W, dtype=np.int64)
+    ph_active = np.zeros((W, n), dtype=bool)
+    ph_informed = np.zeros((W, n), dtype=bool)
+    # step-II working state: status copy with step-I promotions, counters
+    st = np.zeros((W, n), dtype=np.int8)
+    n_m = np.zeros((W, n), dtype=np.int64)
+    n_mb = np.zeros_like(n_m)
+    n_noise = np.zeros_like(n_m)
+    n_silence = np.zeros_like(n_m)
+    tel = _obs_active()
+
+    def slot_result(slot: int) -> BroadcastResult:
+        halted = status[slot] == STATUS_HALT
+        return BroadcastResult(
+            protocol=proto.name,
+            n=n,
+            slots=int(bnet.clocks[slot]),
+            completed=bool(completed[slot]) and bool(halted.all()),
+            informed_slot=informed_slot[slot].copy(),
+            halt_slot=halt_slot[slot].copy(),
+            node_energy=bnet.energy.lane_node_cost(slot),
+            adversary_spend=bnet.energy.lane_adversary_spend(slot),
+            halted_uninformed=int((halted & (informed_slot[slot] < 0)).sum()),
+            periods=int(epochs_run[slot]),
+            extras={
+                "alpha": proto.alpha,
+                "b": proto.b,
+                "channel_cap": proto.channel_cap,
+                "final_status": status[slot].copy(),
+                "helper_epoch": helper_epoch[slot].copy(),
+                "helper_phase": helper_phase[slot].copy(),
+                "informed": (status[slot] >= STATUS_IN).copy(),
+                "last_epoch": (
+                    proto.first_epoch + int(epochs_run[slot]) - 1
+                    if epochs_run[slot]
+                    else None
+                ),
+            },
+        )
+
+    def start_phase(slot: int) -> None:
+        i = int(epoch_i[slot])
+        j = int(slot_phases[slot][phase_pos[slot]])
+        j_arr[slot] = j
+        R_arr[slot] = proto.phase_length(i, j)
+        p_arr[slot] = proto.participation_prob(i, j)
+        C_arr[slot] = proto.phase_channels(j)
+        ph_active[slot] = status[slot] != STATUS_HALT
+        ph_informed[slot] = status[slot] >= STATUS_IN
+        step[slot] = 1
+        remaining[slot] = R_arr[slot]
+
+    def start_epoch(slot: int) -> bool:
+        """Enter the slot's current epoch; False = retired on max_epochs."""
+        i = int(epoch_i[slot])
+        if proto.max_epochs is not None and i - proto.first_epoch >= proto.max_epochs:
+            completed[slot] = False
+            return False
+        slot_phases[slot] = list(proto.phases_of_epoch(i))
+        phase_pos[slot] = 0
+        start_phase(slot)
+        return True
+
+    def reset_slot(slot: int) -> None:
+        status[slot] = STATUS_UN
+        status[slot, 0] = STATUS_IN  # the source knows m
+        informed_slot[slot] = -1
+        informed_slot[slot, 0] = 0
+        halt_slot[slot] = -1
+        helper_epoch[slot] = -1
+        helper_phase[slot] = -1
+        completed[slot] = True
+        epochs_run[slot] = 0
+        epoch_i[slot] = proto.first_epoch
+
+    def retire(slot: int) -> None:
+        while True:
+            stream.finish(slot, slot_result(slot))
+            if tel is not None:
+                tel.count("adv_batch.lanes")
+            if not stream.refill(slot):
+                occupied[slot] = False
+                return
+            reset_slot(slot)
+            if start_epoch(slot):
+                return
+            # the refilled trial retired immediately (max_epochs <= 0)
+
+    def end_phases(done: np.ndarray) -> None:
+        """Phase-end checks for every listed slot in one vectorized call.
+
+        The slots sit at *different* (i, j) positions, so the per-lane
+        R·p / R·p² columns are built from the scalars ``start_phase``
+        cached — the same ``phase_length``/``participation_prob`` values
+        the lockstep path uses, multiplied in the same order, keeping the
+        threshold comparisons bit-identical per lane.
+        """
+        p_col = p_arr[done][:, None]
+        rp_col = R_arr[done][:, None] * p_col
+        sub_st = st[done]
+        isl = informed_slot[done]
+        hsl = halt_slot[done]
+        hep = helper_epoch[done]
+        hph = helper_phase[done]
+        apply_phase_checks(
+            proto,
+            epoch_i[done][:, None],
+            j_arr[done][:, None],
+            active=ph_active[done],
+            status=sub_st,
+            n_m=n_m[done],
+            n_mb=n_mb[done],
+            n_noise=n_noise[done],
+            n_silence=n_silence[done],
+            informed_slot=isl,
+            halt_slot=hsl,
+            helper_epoch=hep,
+            helper_phase=hph,
+            clock=bnet.clocks[done][:, None],
+            rp=rp_col,
+            rp2=rp_col * p_col,
+        )
+        status[done] = sub_st
+        informed_slot[done] = isl
+        halt_slot[done] = hsl
+        helper_epoch[done] = hep
+        helper_phase[done] = hph
+        for slot in done:
+            slot = int(slot)
+            if phase_pos[slot] + 1 < len(slot_phases[slot]):
+                phase_pos[slot] += 1
+                start_phase(slot)
+                continue
+            # epoch boundary — the only place a lane retires of its own accord
+            epochs_run[slot] += 1
+            if (status[slot] == STATUS_HALT).all():
+                retire(slot)
+                continue
+            epoch_i[slot] += 1
+            if not start_epoch(slot):
+                retire(slot)
+
+    for slot in range(W):
+        reset_slot(slot)
+        if not start_epoch(slot):
+            retire(slot)
+
+    while occupied.any():
+        if tel is not None:
+            tel.count("adv_batch.idle_lane_passes", int(W - occupied.sum()))
+        for step_val in (1, 2):
+            sel = occupied & (step == step_val)
+            lane_ids = np.nonzero(sel)[0]
+            if not lane_ids.size:
+                continue
+            Ks = np.minimum(proto.block_slots, remaining[lane_ids])
+            Cs = C_arr[lane_ids]
+            Cmax = int(Cs.max())
+            channels = bnet.draw_channels_ragged(lane_ids, Ks, Cs)
+            coins = bnet.draw_coins_ragged(lane_ids, Ks)
+            blocks = bnet.draw_jamming_ragged(lane_ids, Ks, Cs)
+            offsets = np.concatenate(([0], np.cumsum(Ks)))
+            jam_keys = _ragged_jam_keys(blocks, offsets, Cmax)
+            if tel is not None:
+                t0 = time.perf_counter()
+            if step_val == 1:
+                sub_slot = informed_slot[lane_ids]
+                listen_counts, send_counts, new_informed = _adv_step_one_ragged(
+                    channels,
+                    coins,
+                    jam_keys,
+                    offsets,
+                    p_arr[lane_ids],
+                    Cmax,
+                    ph_informed[lane_ids],
+                    ph_active[lane_ids],
+                    slot0=bnet.clocks[lane_ids],
+                    informed_slot=sub_slot,
+                )
+            else:
+                listen_counts, send_counts, counters = _adv_step_two_ragged(
+                    channels,
+                    coins,
+                    jam_keys,
+                    offsets,
+                    p_arr[lane_ids],
+                    Cmax,
+                    ph_informed[lane_ids],
+                    ph_active[lane_ids],
+                )
+            if tel is not None:
+                tel.add_time("adv_batch.kernel_s", time.perf_counter() - t0)
+                tel.count("adv_batch.kernel_passes")
+                tel.observe("adv_batch.occupancy", int(lane_ids.size))
+                tel.count("adv_batch.lane_passes", int(lane_ids.size))
+                if lane_ids.size == 1 and W > 1:
+                    tel.count("adv_batch.solo_slots", int(Ks[0]))
+            overrun = bnet.commit_counts_ragged(lane_ids, listen_counts, send_counts, Ks)
+            if step_val == 1:
+                # adopted even on overrun, like the lockstep/scalar paths
+                informed_slot[lane_ids] = sub_slot
+            keep = ~overrun
+            live = lane_ids[keep]
+            remaining[live] -= Ks[keep]
+            if step_val == 1:
+                ph_informed[live] = new_informed[keep]
+                done = live[remaining[live] == 0]
+                if done.size:
+                    # step-I learning (un -> in) on a local copy: the
+                    # global status array is only written at phase end
+                    s = status[done]
+                    s[(s == STATUS_UN) & ph_informed[done]] = STATUS_IN
+                    st[done] = s
+                    n_m[done] = 0
+                    n_mb[done] = 0
+                    n_noise[done] = 0
+                    n_silence[done] = 0
+                    step[done] = 2
+                    remaining[done] = R_arr[done]
+            else:
+                n_m[live] += counters["msg"][keep]
+                n_mb[live] += counters["msg_or_beacon"][keep]
+                n_noise[live] += counters["noise"][keep]
+                n_silence[live] += counters["silence"][keep]
+                done = live[remaining[live] == 0]
+                if done.size:
+                    end_phases(done)
+            for slot in lane_ids[overrun]:
+                # mid-phase death: pre-phase statuses stand, this block's
+                # step-II counters are dropped — where SlotLimitExceeded
+                # lands on the scalar path
+                completed[slot] = False
+                retire(int(slot))
+
+    if tel is not None:
+        tel.count("adv_batch.batches")
+        tel.count("adv_batch.refills", stream.refills)
+    return list(stream.results)

@@ -58,7 +58,10 @@ from repro.sim.jam import JamBlock
 
 __all__ = [
     "run_broadcast_batch",
+    "run_broadcast_stream",
     "run_iterations_batch",
+    "run_iterations_stream",
+    "LaneStream",
     "FallbackNotes",
     "collect_fallback_notes",
 ]
@@ -68,26 +71,32 @@ __all__ = [
 IterationSchedule = Callable[[int], Tuple[int, float, float]]
 
 
-def _shared_coin_block(
+def _shared_coin_ragged(
     channels: np.ndarray,
     coins: np.ndarray,
     jam: JamBlock,
+    offsets: np.ndarray,
+    p: np.ndarray,
     informed: np.ndarray,
     active: np.ndarray,
-    p: float,
     *,
     slot0: np.ndarray,
     slot_scale: int = 1,
     informed_slot: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Resolve one block of every lane under the shared-coin rule, returning
-    ``(listen_counts, send_counts, noise_counts, informed)``.
+    """Resolve one *ragged* block of every lane under the shared-coin rule,
+    returning ``(listen_counts, send_counts, noise_counts, informed)``.
 
-    Inputs are lane-stacked: ``channels``/``coins`` are ``(L, K, n)``,
+    Inputs are lane-major concatenations: ``channels``/``coins`` are
+    ``(T, n)`` with lane ``l`` owning rows ``offsets[l]:offsets[l+1]``
+    (``T = offsets[-1]``; row counts may differ per lane — the continuous
+    batching driver merges lanes at different schedule points into one
+    pass), ``p`` is one listen probability per lane,
     ``informed``/``active``/``informed_slot`` are ``(L, n)`` (the latter
     updated in place with event slots), ``jam`` is the lanes' stacked
-    :class:`~repro.sim.jam.JamBlock` of ``L*K`` rows in the same lane order,
-    and ``slot0`` holds each lane's global slot of row 0.
+    :class:`~repro.sim.jam.JamBlock` of ``T`` rows in the same lane order
+    (one uniform channel count), and ``slot0`` holds each lane's global
+    slot of row 0.
 
     The computation is exact — bit-identical to building the action matrix,
     calling :func:`repro.sim.channel.resolve_block` and reducing, per lane —
@@ -112,28 +121,35 @@ def _shared_coin_block(
         listen is noisy iff its cell is jammed or holds >= 2 such sends —
         one sorted-key count plus one lookup over the listen hits.
     """
-    L, K, n = coins.shape
+    T, n = coins.shape
+    L = offsets.size - 1
+    lane_rows = np.diff(offsets)
+    lane_of_row = np.repeat(np.arange(L, dtype=np.int64), lane_rows)
     C = jam.C
+    thr = (2.0 * p)[lane_of_row][:, None]
     if active.all():  # nobody has halted yet — the common early-run case
-        hit = coins < 2 * p
+        hit = coins < thr
     else:
-        hit = (coins < 2 * p) & active[:, None, :]
+        hit = (coins < thr) & active[lane_of_row]
     # One flat extraction pass; the raveled gathers below walk memory in
     # increasing order, which matters more than it looks at these sizes.
     flat = np.flatnonzero(hit)
-    lane = flat // (K * n)
-    row = (flat // n) % K
+    grow = flat // n  # global (concatenated) row
     node = flat % n
-    is_listen = coins.ravel()[flat] < p
+    lane = lane_of_row[grow]
+    row = grow - offsets[lane]  # lane-local row — scalar-stream position
+    is_listen = coins.ravel()[flat] < p[lane]
     node_key = lane * n + node
-    cell = (lane * np.int64(K) + row) * np.int64(C) + channels.ravel()[flat]
+    cell = grow * np.int64(C) + channels.ravel()[flat]
     listen_counts = np.bincount(node_key[is_listen], minlength=L * n).reshape(L, n)
     # Jamming at listen cells, once for the whole block (binary search in the
     # stacked block's key space).
     jam_at = np.zeros(lane.shape[0], dtype=bool)
     jam_at[is_listen] = jam.lookup_keys(cell[is_listen])
 
-    NEVER = np.int64(K)  # sentinel informing row: not informed in this block
+    # sentinel informing row: not informed in this block.  One sentinel past
+    # every lane's last local row works for all lanes (rows < lane_rows[l]).
+    NEVER = np.int64(lane_rows.max())
     informing_row = np.where(informed, np.int64(-1), NEVER)  # (L, n)
 
     def sends_now():
@@ -242,6 +258,39 @@ def _shared_coin_block(
     return listen_counts, send_counts, noise_counts, informing_row < NEVER
 
 
+def _shared_coin_block(
+    channels: np.ndarray,
+    coins: np.ndarray,
+    jam: JamBlock,
+    informed: np.ndarray,
+    active: np.ndarray,
+    p: float,
+    *,
+    slot0: np.ndarray,
+    slot_scale: int = 1,
+    informed_slot: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Fixed-shape adapter over :func:`_shared_coin_ragged` — the lockstep
+    driver's view: ``channels``/``coins`` are ``(L, K, n)`` (every lane at
+    the same schedule point, so every lane contributes K rows and shares one
+    listen probability).  The reshape is a view; the ragged core is the
+    single implementation of the event cascade."""
+    L, K, n = coins.shape
+    offsets = np.arange(L + 1, dtype=np.int64) * K
+    return _shared_coin_ragged(
+        channels.reshape(L * K, n),
+        coins.reshape(L * K, n),
+        jam,
+        offsets,
+        np.full(L, p, dtype=np.float64),
+        informed,
+        active,
+        slot0=slot0,
+        slot_scale=slot_scale,
+        informed_slot=informed_slot,
+    )
+
+
 def run_iterations_batch(
     proto,
     bnet: BatchNetwork,
@@ -327,6 +376,12 @@ def run_iterations_batch(
                 tel.count("batch.kernel_passes")
                 tel.count("batch.lane_rows", int(lane_ids.size) * K)
                 tel.observe("batch.occupancy", int(lane_ids.size))
+                tel.count("batch.lane_passes", int(lane_ids.size))
+                tel.count("batch.idle_lane_passes", B - int(lane_ids.size))
+                if lane_ids.size == 1 and B > 1:
+                    # slots simulated with the batch drained to one lane —
+                    # the straggler tail continuous batching removes
+                    tel.count("batch.solo_slots", K * slots_per_row)
             overrun = bnet.commit_counts(
                 lane_ids, listen_counts, send_counts, K, slots_per_row=slots_per_row
             )
@@ -360,12 +415,16 @@ def run_iterations_batch(
             live[lane_ids[finished]] = False
         i += 1
 
-    if tel is not None and B > 1:
-        # straggler wait: slots the slowest lane ran past the second-slowest
-        # — per-pass occupancy says *when* lanes drop out, this says how much
-        # tail one lane adds to the whole batch
-        clocks = np.sort(bnet.clocks)
-        tel.count("batch.straggler_slots", int(clocks[-1] - clocks[-2]))
+    if tel is not None:
+        if B > 1:
+            # straggler wait: slots the slowest lane ran past the second-
+            # slowest — per-pass occupancy says *when* lanes drop out, this
+            # says how much tail one lane adds to the whole batch
+            clocks = np.sort(bnet.clocks)
+            tel.count("batch.straggler_slots", int(clocks[-1] - clocks[-2]))
+        # lanes/batches are counted even for B == 1 so the occupancy
+        # invariant (every trial lands in exactly one lane counter) holds
+        # at any width — see tests/obs/test_occupancy.py
         tel.count("batch.batches")
         tel.count("batch.lanes", B)
 
@@ -385,6 +444,254 @@ def run_iterations_batch(
         )
         for lane in range(B)
     ]
+
+
+class LaneStream:
+    """``W`` reusable lane slots streaming over a pending trial queue.
+
+    The continuous-batching host (DESIGN.md section 13): the first ``W``
+    trials are admitted as the lanes of one :class:`BatchNetwork`; when a
+    protocol driver retires a lane (halted, truncated, or out of epochs) it
+    deposits the result with :meth:`finish` and calls :meth:`refill`, which
+    recycles the slot for the next pending trial via
+    :meth:`BatchNetwork.replace_lane` — fresh generator, reset adversary,
+    zeroed books.  Results land in trial order regardless of which slot
+    hosted which trial or when.
+
+    Trials are ``(seed, adversary, max_slots)`` triples; per-trial slot caps
+    are first-class because staggered caps are exactly the workload
+    compaction exists for (budget-truncated campaign cells).
+    """
+
+    def __init__(self, n: int, seeds, adversaries, max_slots, width: int):
+        self.trials = list(zip(seeds, adversaries, max_slots))
+        if not self.trials:
+            raise ValueError("need at least one trial")
+        self.width = max(1, min(int(width), len(self.trials)))
+        head = self.trials[: self.width]
+        for _, adversary, _ in head:
+            if adversary is not None:
+                adversary.reset()
+        self.bnet = BatchNetwork(
+            n,
+            [seed for seed, _, _ in head],
+            [adversary for _, adversary, _ in head],
+            max_slots=np.asarray([cap for _, _, cap in head], dtype=np.int64),
+        )
+        self._slot_trial = list(range(self.width))
+        self.next_trial = self.width
+        self.results: List[Optional[BroadcastResult]] = [None] * len(self.trials)
+        self.refills = 0
+
+    def finish(self, slot: int, result: BroadcastResult) -> None:
+        """Deposit the result of the trial currently hosted by ``slot``."""
+        trial = self._slot_trial[slot]
+        if self.results[trial] is not None:
+            raise RuntimeError(f"trial {trial} finished twice")
+        self.results[trial] = result
+
+    def refill(self, slot: int) -> bool:
+        """Recycle ``slot`` for the next pending trial; False when drained."""
+        if self.next_trial >= len(self.trials):
+            return False
+        seed, adversary, cap = self.trials[self.next_trial]
+        self.bnet.replace_lane(slot, seed, adversary, max_slots=cap)
+        self._slot_trial[slot] = self.next_trial
+        self.next_trial += 1
+        self.refills += 1
+        return True
+
+
+def run_iterations_stream(
+    proto,
+    stream: LaneStream,
+    *,
+    first_index: int,
+    schedule: IterationSchedule,
+    make_extras: Callable[[int], dict],
+    slots_per_row: int = 1,
+    draw_jamming=None,
+    count_at_entry: bool = False,
+) -> List[BroadcastResult]:
+    """Continuous-batching counterpart of :func:`run_iterations_batch`.
+
+    Same per-trial semantics, different scheduling: lane slots are *not* in
+    lockstep.  Each slot carries its own iteration index, schedule constants
+    and remaining-row count; every pass merges all occupied slots — wherever
+    they are in their schedules — into one ragged kernel call (per-lane row
+    counts and listen probabilities), and a slot that finishes its trial is
+    refilled from the stream's pending queue instead of idling until the
+    batch drains.  Trial results are bit-identical to the lockstep (and
+    scalar) paths because a lane's draws, and everything derived from them,
+    are functions of its own generator only — the schedule-invariance suite
+    (``tests/core/test_lane_schedule_invariance.py``) enforces exactly that.
+
+    ``draw_jamming(lane_ids, rows)`` may override the jam source with a
+    ragged drawer returning one stacked uniform-C :class:`JamBlock` (the
+    Fig. 5 physical-to-virtual relabeling); the default stacks
+    :meth:`BatchNetwork.draw_jamming_ragged` on ``proto.num_channels``.
+    """
+    n = proto.n
+    C = proto.num_channels
+    bnet = stream.bnet
+    if bnet.n != n:
+        raise ValueError(f"batch network has n={bnet.n}, protocol built for n={n}")
+    if draw_jamming is None:
+        draw_jamming = lambda lane_ids, rows: JamBlock.stack(  # noqa: E731
+            bnet.draw_jamming_ragged(lane_ids, rows, C)
+        )
+
+    W = stream.width
+    informed = np.zeros((W, n), dtype=bool)
+    informed[:, 0] = True
+    active = np.ones((W, n), dtype=bool)
+    informed_slot = np.full((W, n), -1, dtype=np.int64)
+    informed_slot[:, 0] = 0
+    halt_slot = np.full((W, n), -1, dtype=np.int64)
+    halted_uninformed = np.zeros(W, dtype=np.int64)
+    completed = np.ones(W, dtype=bool)
+    iterations_run = np.zeros(W, dtype=np.int64)
+    iter_index = np.full(W, first_index, dtype=np.int64)
+    R_arr = np.zeros(W, dtype=np.int64)
+    p_arr = np.zeros(W, dtype=np.float64)
+    thr_arr = np.zeros(W, dtype=np.float64)
+    remaining = np.zeros(W, dtype=np.int64)
+    noisy = np.zeros((W, n), dtype=np.int64)
+    occupied = np.ones(W, dtype=bool)
+    tel = _obs_active()
+
+    def enter_iteration(slot: int) -> None:
+        R, p, threshold = schedule(int(iter_index[slot]))
+        R_arr[slot] = R
+        p_arr[slot] = p
+        thr_arr[slot] = threshold
+        remaining[slot] = R
+        noisy[slot] = 0
+
+    def slot_result(slot: int) -> BroadcastResult:
+        return BroadcastResult(
+            protocol=proto.name,
+            n=n,
+            slots=int(bnet.clocks[slot]),
+            completed=bool(completed[slot]) and not active[slot].any(),
+            informed_slot=informed_slot[slot].copy(),
+            halt_slot=halt_slot[slot].copy(),
+            node_energy=bnet.energy.lane_node_cost(slot),
+            adversary_spend=bnet.energy.lane_adversary_spend(slot),
+            halted_uninformed=int(halted_uninformed[slot]),
+            periods=int(iterations_run[slot]),
+            extras=make_extras(int(iterations_run[slot])),
+        )
+
+    def reset_slot(slot: int) -> None:
+        informed[slot] = False
+        informed[slot, 0] = True
+        active[slot] = True
+        informed_slot[slot] = -1
+        informed_slot[slot, 0] = 0
+        halt_slot[slot] = -1
+        halted_uninformed[slot] = 0
+        completed[slot] = True
+        iterations_run[slot] = 0
+        iter_index[slot] = first_index
+        enter_iteration(slot)
+
+    def retire(slot: int) -> None:
+        while True:
+            stream.finish(slot, slot_result(slot))
+            if tel is not None:
+                tel.count("batch.lanes")
+            if not stream.refill(slot):
+                occupied[slot] = False
+                return
+            reset_slot(slot)
+            if proto.max_iterations is not None and proto.max_iterations <= 0:
+                # the lockstep driver's top-of-loop check fires before the
+                # first iteration of such a (degenerate) schedule
+                completed[slot] = False
+                continue
+            return
+
+    for slot in range(W):
+        enter_iteration(slot)
+    if proto.max_iterations is not None and proto.max_iterations <= 0:
+        for slot in range(W):
+            completed[slot] = False
+            retire(slot)
+
+    while occupied.any():
+        lane_ids = np.nonzero(occupied)[0]
+        Ks = np.minimum(proto.block_slots, remaining[lane_ids])
+        channels = bnet.draw_channels_ragged(lane_ids, Ks, C)
+        coins = bnet.draw_coins_ragged(lane_ids, Ks)
+        jam = draw_jamming(lane_ids, Ks)
+        offsets = np.concatenate(([0], np.cumsum(Ks)))
+        sub_slot = informed_slot[lane_ids]
+        if tel is not None:
+            t0 = time.perf_counter()
+        listen_counts, send_counts, block_noise, new_informed = _shared_coin_ragged(
+            channels,
+            coins,
+            jam,
+            offsets,
+            p_arr[lane_ids],
+            informed[lane_ids],
+            active[lane_ids],
+            slot0=bnet.clocks[lane_ids],
+            slot_scale=slots_per_row,
+            informed_slot=sub_slot,
+        )
+        if tel is not None:
+            tel.add_time("batch.kernel_s", time.perf_counter() - t0)
+            tel.count("batch.kernel_passes")
+            tel.count("batch.lane_rows", int(Ks.sum()))
+            tel.observe("batch.occupancy", int(lane_ids.size))
+            tel.count("batch.lane_passes", int(lane_ids.size))
+            tel.count("batch.idle_lane_passes", W - int(lane_ids.size))
+            if lane_ids.size == 1 and W > 1:
+                tel.count("batch.solo_slots", int(Ks[0]) * slots_per_row)
+        overrun = bnet.commit_counts_ragged(
+            lane_ids, listen_counts, send_counts, Ks, slots_per_row=slots_per_row
+        )
+        # informed_slot is adopted even for a lane whose commit overran (the
+        # scalar path raises *after* the event loop's in-place update);
+        # informed/noisy updates belong to survivors only — same contract as
+        # the lockstep driver.
+        informed_slot[lane_ids] = sub_slot
+        for idx, slot in enumerate(lane_ids):
+            if overrun[idx]:
+                completed[slot] = False
+                if count_at_entry:  # the partial iteration counts (Fig. 1)
+                    iterations_run[slot] += 1
+                retire(slot)
+                continue
+            informed[slot] = new_informed[idx]
+            noisy[slot] += block_noise[idx]
+            remaining[slot] -= Ks[idx]
+            if remaining[slot] == 0:
+                # end of this slot's iteration: halting test on its own
+                # threshold, then advance, retire, or refill
+                halt_now = active[slot] & (noisy[slot] < thr_arr[slot])
+                halted_uninformed[slot] += int((halt_now & ~informed[slot]).sum())
+                halt_slot[slot][halt_now] = bnet.clocks[slot]
+                active[slot] &= ~halt_now
+                iterations_run[slot] += 1
+                if not active[slot].any():
+                    retire(slot)
+                elif (
+                    proto.max_iterations is not None
+                    and iterations_run[slot] >= proto.max_iterations
+                ):
+                    completed[slot] = False
+                    retire(slot)
+                else:
+                    iter_index[slot] += 1
+                    enter_iteration(slot)
+
+    if tel is not None:
+        tel.count("batch.batches")
+        tel.count("batch.refills", stream.refills)
+    return list(stream.results)
 
 
 class FallbackNotes:
@@ -473,13 +780,25 @@ def _note_fallback(protocol, reason: str, lanes: int) -> None:
         tel.count("batch.fallback_lanes", lanes)
 
 
+def _lane_caps(max_slots, count: int) -> np.ndarray:
+    """Normalize a scalar-or-per-lane ``max_slots`` to a ``(count,)`` array."""
+    caps = np.asarray(max_slots, dtype=np.int64)
+    if caps.ndim == 0:
+        return np.full(count, int(caps), dtype=np.int64)
+    if caps.shape != (count,):
+        raise ValueError(
+            f"max_slots shaped {caps.shape}, expected a scalar or ({count},)"
+        )
+    return caps.copy()
+
+
 def run_broadcast_batch(
     protocol,
     n: int,
     adversaries: Optional[Sequence] = None,
     seeds: Sequence[int] = (0,),
     *,
-    max_slots: int = 50_000_000,
+    max_slots=50_000_000,
     trace=None,
 ) -> List[BroadcastResult]:
     """Run one execution per lane — ``len(seeds)`` trials in one batch.
@@ -517,6 +836,7 @@ def run_broadcast_batch(
         raise ValueError(
             f"{len(adversaries)} adversaries for {len(seeds)} seeds (need one per lane)"
         )
+    caps = _lane_caps(max_slots, len(seeds))
     if trace is not None:
         if len(seeds) > 1:
             raise ValueError(
@@ -525,7 +845,7 @@ def run_broadcast_batch(
                 "trace, or drop trace= to run batched"
             )
         result = run_broadcast(
-            protocol, n, adversaries[0], seed=seeds[0], max_slots=max_slots,
+            protocol, n, adversaries[0], seed=seeds[0], max_slots=int(caps[0]),
             trace=trace,
         )
         result.extras["backend"] = "scalar-fallback"
@@ -543,9 +863,27 @@ def run_broadcast_batch(
         from repro.arena.run import run_broadcast_windowed_batch, supports_protocol
 
         if supports_protocol(protocol):
-            return run_broadcast_windowed_batch(
-                protocol, n, adversaries, seeds, max_slots=max_slots
-            )
+            if np.unique(caps).size == 1:
+                return run_broadcast_windowed_batch(
+                    protocol, n, adversaries, seeds, max_slots=int(caps[0])
+                )
+            # heterogeneous per-lane caps: the windowed driver takes one cap
+            # per batch, so group lanes by cap (grouping cannot change any
+            # lane's result — the windowed driver carries the same per-lane
+            # determinism contract)
+            results = [None] * len(seeds)
+            for cap in dict.fromkeys(caps.tolist()):
+                idx = [k for k, c in enumerate(caps.tolist()) if c == cap]
+                sub = run_broadcast_windowed_batch(
+                    protocol,
+                    n,
+                    [adversaries[k] for k in idx],
+                    [seeds[k] for k in idx],
+                    max_slots=int(cap),
+                )
+                for k, r in zip(idx, sub):
+                    results[k] = r
+            return results
     has_run_batch = hasattr(protocol, "run_batch")
     if not has_run_batch or any(
         hasattr(adversary, "jam_slot") for adversary in adversaries
@@ -554,8 +892,8 @@ def run_broadcast_batch(
         # engine; run_broadcast dispatches those lanes to the arena runtime
         results = []
         fallbacks = 0
-        for adversary, seed in zip(adversaries, seeds):
-            result = run_broadcast(protocol, n, adversary, seed=seed, max_slots=max_slots)
+        for adversary, seed, cap in zip(adversaries, seeds, caps):
+            result = run_broadcast(protocol, n, adversary, seed=seed, max_slots=int(cap))
             if not hasattr(adversary, "jam_slot"):
                 # this lane ran the scalar block engine (reactive lanes run
                 # the vectorized arena by design and are not stamped)
@@ -574,5 +912,91 @@ def run_broadcast_batch(
     for adversary in adversaries:
         if adversary is not None:
             adversary.reset()
-    bnet = BatchNetwork(n, seeds, adversaries, max_slots=max_slots)
+    bnet = BatchNetwork(n, seeds, adversaries, max_slots=caps)
     return protocol.run_batch(bnet)
+
+
+def run_broadcast_stream(
+    protocol,
+    n: int,
+    adversaries: Optional[Sequence] = None,
+    seeds: Sequence[int] = (0,),
+    *,
+    max_slots=50_000_000,
+    lane_width: Optional[int] = None,
+    trace=None,
+) -> List[BroadcastResult]:
+    """Run ``len(seeds)`` trials through ``lane_width`` continuously-refilled
+    lane slots — the compaction/refill analogue of :func:`run_broadcast_batch`.
+
+    Where the fixed-lane path chops the trial list into width-sized blocks
+    and runs each block to its slowest lane, this one keeps exactly
+    ``lane_width`` slots busy: a slot whose trial retires (halts, truncates
+    at its own ``max_slots``, or runs out of epochs) is immediately refilled
+    from the pending queue.  ``max_slots`` may be a scalar or one cap per
+    trial.  Results are bit-identical per trial to the fixed-lane and scalar
+    paths — a trial's result is a pure function of its (seed, adversary,
+    cap), never of lane placement, width, or refill schedule
+    (``tests/core/test_lane_schedule_invariance.py``).
+
+    Protocols advertise stream support with ``run_stream(stream)``; a
+    protocol without one — or a trial list with reactive adversaries, or a
+    ``trace=`` request — falls back to fixed width-sized blocks through
+    :func:`run_broadcast_batch`, which applies its own (stamped, counted)
+    dispatch per block.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one trial (seed)")
+    if adversaries is None:
+        adversaries = [None] * len(seeds)
+    adversaries = list(adversaries)
+    if len(adversaries) != len(seeds):
+        raise ValueError(
+            f"{len(adversaries)} adversaries for {len(seeds)} seeds (need one per trial)"
+        )
+    caps = _lane_caps(max_slots, len(seeds))
+    if lane_width is None:
+        # streams prefer the wider stream_lane_width: refill keeps wide
+        # batches occupied, where a fixed block would drain to stragglers
+        lane_width = getattr(
+            protocol,
+            "stream_lane_width",
+            getattr(protocol, "batch_lane_width", None),
+        )
+    if lane_width is None:
+        from repro.analysis.stats import DEFAULT_LANE_WIDTH
+
+        lane_width = DEFAULT_LANE_WIDTH
+    width = max(1, int(lane_width))
+    if trace is not None and len(seeds) > 1:
+        raise ValueError(
+            "trace recording is scalar-only: run_broadcast_stream got "
+            f"trace= with {len(seeds)} trials — record one trial per "
+            "trace, or drop trace= to run batched"
+        )
+    if (
+        trace is not None
+        or not hasattr(protocol, "run_stream")
+        or any(hasattr(adversary, "jam_slot") for adversary in adversaries)
+    ):
+        results: List[BroadcastResult] = []
+        for start in range(0, len(seeds), width):
+            stop = start + width
+            results.extend(
+                run_broadcast_batch(
+                    protocol,
+                    n,
+                    adversaries[start:stop],
+                    seeds[start:stop],
+                    max_slots=caps[start:stop],
+                    trace=trace,
+                )
+            )
+        return results
+    stream = LaneStream(n, seeds, adversaries, caps.tolist(), width)
+    results = protocol.run_stream(stream)
+    missing = [t for t, r in enumerate(results) if r is None]
+    if missing:  # a driver bug, not a user error — fail loudly
+        raise RuntimeError(f"stream driver left trials {missing} unfinished")
+    return results

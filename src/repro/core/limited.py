@@ -34,6 +34,8 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from repro.core.multicast import MultiCast, _run_multicast_iterations
 from repro.core.multicast_adv import MultiCastAdv
 from repro.core.result import BroadcastResult
@@ -121,6 +123,39 @@ class MultiCastC(MultiCast):
         results = run_iterations_batch(
             self,
             bnet,
+            first_index=self.start_iteration,
+            schedule=self._iteration_schedule,
+            make_extras=self._batch_extras,
+            slots_per_row=S,
+            draw_jamming=draw_jamming,
+        )
+        for result in results:
+            result.extras["physical_channels"] = C_phys
+            result.extras["slots_per_round"] = S
+        return results
+
+    def run_stream(self, stream) -> list:
+        """Continuous-batching :meth:`run_batch`.  The relabeling survives
+        ragged merging too: each lane's chunk is ``rounds_l * S`` contiguous
+        physical rows (a multiple of the fold group S), folded per lane
+        before stacking, so lane offsets in the virtual key space stay
+        aligned whatever mix of round counts a pass carries."""
+        from repro.core.batch import run_iterations_stream
+        from repro.sim.jam import JamBlock
+
+        S = self.slots_per_round
+        C_phys = self.C
+        bnet = stream.bnet
+
+        def draw_jamming(lane_ids, rounds):
+            blocks = bnet.draw_jamming_ragged(
+                lane_ids, np.asarray(rounds, dtype=np.int64) * S, C_phys
+            )
+            return JamBlock.stack([block.fold_rows(S) for block in blocks])
+
+        results = run_iterations_stream(
+            self,
+            stream,
             first_index=self.start_iteration,
             schedule=self._iteration_schedule,
             make_extras=self._batch_extras,

@@ -117,6 +117,19 @@ class MultiCast:
             make_extras=self._batch_extras,
         )
 
+    def run_stream(self, stream) -> list:
+        """Continuous-batching :meth:`run_batch`: the same per-trial results
+        through compacted/refilled lane slots (DESIGN.md section 13)."""
+        from repro.core.batch import run_iterations_stream
+
+        return run_iterations_stream(
+            self,
+            stream,
+            first_index=self.start_iteration,
+            schedule=self._iteration_schedule,
+            make_extras=self._batch_extras,
+        )
+
     def _iteration_schedule(self, i: int) -> tuple:
         """(R_i, p_i, halt threshold) for iteration ``i``."""
         R = self.iteration_length(i)

@@ -88,6 +88,8 @@ def apply_phase_checks(
     helper_epoch: np.ndarray,
     helper_phase: np.ndarray,
     clock,
+    rp=None,
+    rp2=None,
 ):
     """End-of-phase checks (pseudocode lines 21-23 / 21-25), applied in order,
     mutating ``status`` and the bookkeeping arrays in place.
@@ -101,14 +103,24 @@ def apply_phase_checks(
     between the two paths (tests/core/test_adv_phase_checks.py pins the
     exact-equality behaviour of every comparison).
 
+    ``i`` and ``j`` may also be ``(L, 1)`` integer columns (the stream
+    driver checks lanes sitting at *different* phases in one call); the
+    thresholds only need R·p and R·p², so ragged callers pass ``rp``/``rp2``
+    columns built from the same ``phase_length``/``participation_prob``
+    scalars — the float products are computed in the same order, so the
+    comparisons stay bit-identical to the scalar call.
+
     ``active`` is the phase-entry active mask (statuses that were not HALT
     when the phase began); ``status`` must already reflect the step-I
     promotions.  Returns ``(helper_cond, halt_cond)`` for trace bookkeeping.
     """
-    R = proto.phase_length(i, j)
-    p = proto.participation_prob(i, j)
-    rp, rp2 = R * p, R * p * p
+    if rp is None:
+        R = proto.phase_length(i, j)
+        p = proto.participation_prob(i, j)
+        rp, rp2 = R * p, R * p * p
     clock_full = np.broadcast_to(np.asarray(clock, dtype=np.int64), status.shape)
+    i_full = np.broadcast_to(np.asarray(i, dtype=np.int64), status.shape)
+    j_full = np.broadcast_to(np.asarray(j, dtype=np.int64), status.shape)
 
     # Line 21: un and N_m >= 1 -> in.
     promote = active & (status == STATUS_UN) & (n_m >= 1)
@@ -122,13 +134,17 @@ def apply_phase_checks(
         & (n_m >= proto.HELPER_MSG_FACTOR * rp2)
         & (n_silence >= proto.HELPER_SILENCE_FACTOR * rp)
     )
-    if not (proto.max_phase is not None and j == proto.max_phase):
+    if proto.max_phase is None:
+        helper_cond &= n_mb <= proto.HELPER_BEACON_CEIL * rp2
+    else:
         # The N'_m ceiling applies except at the Fig. 6 boundary phase
         # j = lg C, where the paper removes it.
-        helper_cond &= n_mb <= proto.HELPER_BEACON_CEIL * rp2
+        helper_cond &= (n_mb <= proto.HELPER_BEACON_CEIL * rp2) | (
+            j_full == proto.max_phase
+        )
     status[helper_cond] = STATUS_HELPER
-    helper_epoch[helper_cond] = i
-    helper_phase[helper_cond] = j
+    helper_epoch[helper_cond] = i_full[helper_cond]
+    helper_phase[helper_cond] = j_full[helper_cond]
 
     # Line 23 / 25: helper, waited >= 2/alpha epochs, matching phase, and
     # low noise -> halt.  Nodes promoted to helper this very phase fail
@@ -136,8 +152,8 @@ def apply_phase_checks(
     halt_cond = (
         active
         & (status == STATUS_HELPER)
-        & (i - helper_epoch >= proto.helper_wait)
-        & (helper_phase == j)
+        & (i_full - helper_epoch >= proto.helper_wait)
+        & (helper_phase == j_full)
         & (n_noise <= rp / proto.halt_noise_divisor)
     )
     status[halt_cond] = STATUS_HALT
@@ -188,6 +204,14 @@ class MultiCastAdv:
     #: n = 64 shared-coin kernel is cache-bound at width 2 (DESIGN.md 9.3,
     #: measured in BENCH_adv_batch.json).
     batch_lane_width = 8
+
+    #: Preferred width for the *continuously-refilled* stream driver
+    #: (``run_broadcast_stream``).  Lockstep blocks cap at 8 because a wide
+    #: fixed block ends up running its longest trial on a near-empty batch;
+    #: compaction refills freed slots, so the stream keeps wide batches
+    #: occupied and wins by merging more lanes per kernel pass (measured in
+    #: BENCH_adv_compaction.json; results are bit-identical at any width).
+    stream_lane_width = 32
 
     def __init__(
         self,
@@ -326,6 +350,13 @@ class MultiCastAdv:
         from repro.core.adv_batch import run_adv_batch
 
         return run_adv_batch(self, bnet)
+
+    def run_stream(self, stream) -> list:
+        """Continuous-batching :meth:`run_batch`: trials retire and lane
+        slots refill at epoch boundaries (DESIGN.md section 13)."""
+        from repro.core.adv_batch import run_adv_stream
+
+        return run_adv_stream(self, stream)
 
     def _run_phase(
         self,

@@ -115,6 +115,24 @@ class MultiCastCore:
             count_at_entry=True,
         )
 
+    def run_stream(self, stream) -> list:
+        """Continuous-batching :meth:`run_batch` (DESIGN.md section 13)."""
+        from repro.core.batch import run_iterations_stream
+
+        R = self.iteration_slots
+        return run_iterations_stream(
+            self,
+            stream,
+            first_index=1,
+            schedule=lambda i: (R, self.LISTEN_PROB, R * self.NOISE_THRESHOLD),
+            make_extras=lambda iterations: {
+                "iteration_slots": R,
+                "num_channels": self.num_channels,
+                "provisioned_T": self.T,
+            },
+            count_at_entry=True,
+        )
+
     def run(self, net: RadioNetwork, *, trace: Optional[TraceRecorder] = None) -> BroadcastResult:
         """Execute one broadcast on ``net`` and return the result."""
         if net.n != self.n:

@@ -7,9 +7,10 @@ worker ran it or when:
 * :func:`run_campaign` runs :class:`~repro.exp.spec.CampaignSpec` trials
   either in-process (``workers=1`` — the determinism-test fallback, lane
   batched by default) or *sharded* across a ``ProcessPoolExecutor``: pending
-  trials are split into per-cell lane blocks sized by the protocol's
-  advertised ``batch_lane_width``, each worker runs whole blocks through the
-  lane-batched engine and appends the finished records to its own
+  trials are split into per-cell lane blocks of ``batch_lane_width *
+  STREAM_BLOCK_FACTOR`` trials, each worker runs its blocks as
+  continuously-refilled lane streams (compaction/refill, DESIGN.md
+  section 13) and appends the finished records to its own
   ``<store>.shard-<k>.jsonl`` (single-writer per file, flushed per block),
   and the parent folds the shards back into the main store with a
   deterministic key-sorted merge (:func:`repro.exp.shard.merge_shards`).
@@ -44,7 +45,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.analysis.stats import DEFAULT_LANE_WIDTH
-from repro.core.batch import FallbackNotes, collect_fallback_notes, run_broadcast_batch
+from repro.core.batch import FallbackNotes, collect_fallback_notes, run_broadcast_stream
 from repro.core.result import run_broadcast
 from repro.exp.adaptive import AdaptiveController
 from repro.exp.registry import build_jammer, build_protocol, protocol_lane_width
@@ -75,6 +76,13 @@ __all__ = [
 #: One knob for the whole stack: ``repro.analysis.stats.DEFAULT_LANE_WIDTH``
 #: explains why it is small.
 LANE_WIDTH = DEFAULT_LANE_WIDTH
+
+#: Trials per lane slot in a sharded worker's block (``_lane_blocks``):
+#: blocks carry ``batch_lane_width * STREAM_BLOCK_FACTOR`` trials so the
+#: worker's lane stream has a pending queue to refill from — a freed slot
+#: picks up the next trial instead of waiting for the block's straggler.
+#: Larger factors amortize better but coarsen work-stealing granularity.
+STREAM_BLOCK_FACTOR = 4
 
 #: ``progress(done, total, record)`` — called after each newly completed
 #: trial; ``done``/``total`` count this invocation's pending trials only.
@@ -131,13 +139,18 @@ def run_trial_batch(
 
     All specs must agree on everything but their trial index (one protocol,
     one jammer, one n — the unit ``run_campaign`` groups by).  Yields records
-    in spec order, ``lane_width`` trials per kernel pass, each record
-    bit-identical to ``run_trial(spec)`` except for ``wall_time``, which is
-    apportioned evenly across a pass's lanes (the lanes genuinely ran
-    together; only their total is physical).  ``lane_width=None`` (default)
-    honors the protocol's advertised ``batch_lane_width`` when it has one
-    (``MultiCastAdv`` prefers wider lanes) and falls back to
-    :data:`LANE_WIDTH`; the width never changes results, only throughput.
+    in spec order, streamed through ``lane_width`` continuously-refilled lane
+    slots (:func:`repro.core.batch.run_broadcast_stream` — a spec whose
+    trial retires frees its slot for the next pending spec instead of
+    idling until a lockstep block drains), each record bit-identical to
+    ``run_trial(spec)`` except for ``wall_time``, which is apportioned
+    evenly across the stream's trials (the trials genuinely ran together;
+    only their total is physical).  ``lane_width=None`` (default) honors
+    the protocol's advertised ``stream_lane_width`` (falling back to
+    ``batch_lane_width``, then :data:`LANE_WIDTH`) — ``MultiCastAdv``
+    prefers wide streams since refill keeps wide batches occupied; neither
+    the width nor the refill schedule ever changes results, only
+    throughput.
     """
     specs = list(specs)
     if not specs:
@@ -150,37 +163,40 @@ def run_trial_batch(
             first.protocol, first.n, T=first.budget, C=first.channels,
             knobs=first.protocol_knobs,
         )
-        lane_width = getattr(probe, "batch_lane_width", LANE_WIDTH)
+        # streams prefer the wider stream_lane_width when advertised:
+        # refill keeps wide batches occupied (BENCH_adv_compaction.json)
+        lane_width = getattr(
+            probe, "stream_lane_width", getattr(probe, "batch_lane_width", LANE_WIDTH)
+        )
     lane_width = max(1, int(lane_width))
-    for start in range(0, len(specs), lane_width):
-        chunk = specs[start : start + lane_width]
-        protocol = build_protocol(
-            first.protocol, first.n, T=first.budget, C=first.channels,
-            knobs=first.protocol_knobs,
+    protocol = build_protocol(
+        first.protocol, first.n, T=first.budget, C=first.channels,
+        knobs=first.protocol_knobs,
+    )
+    adversaries = [
+        build_jammer(s.jammer, s.budget, s.jammer_seed(), knobs=s.jammer_knobs, n=s.n)
+        for s in specs
+    ]
+    t0 = time.perf_counter()
+    results = run_broadcast_stream(
+        protocol,
+        first.n,
+        adversaries,
+        [s.net_seed() for s in specs],
+        max_slots=[s.max_slots for s in specs],
+        lane_width=lane_width,
+    )
+    block_s = time.perf_counter() - t0
+    tel = _obs_active()
+    if tel is not None:
+        tel.heartbeat(
+            trials=len(specs),
+            block_s=round(block_s, 6),
+            trials_per_s=round(len(specs) / block_s, 2) if block_s > 0 else 0.0,
         )
-        adversaries = [
-            build_jammer(s.jammer, s.budget, s.jammer_seed(), knobs=s.jammer_knobs, n=s.n)
-            for s in chunk
-        ]
-        t0 = time.perf_counter()
-        results = run_broadcast_batch(
-            protocol,
-            first.n,
-            adversaries,
-            [s.net_seed() for s in chunk],
-            max_slots=first.max_slots,
-        )
-        block_s = time.perf_counter() - t0
-        tel = _obs_active()
-        if tel is not None:
-            tel.heartbeat(
-                trials=len(chunk),
-                block_s=round(block_s, 6),
-                trials_per_s=round(len(chunk) / block_s, 2) if block_s > 0 else 0.0,
-            )
-        wall = _wall(block_s) / len(chunk)
-        for spec, result in zip(chunk, results):
-            yield TrialRecord.from_result(spec, result, wall_time=wall)
+    wall = _wall(block_s) / len(specs)
+    for spec, result in zip(specs, results):
+        yield TrialRecord.from_result(spec, result, wall_time=wall)
 
 
 def _cell_identity(spec: TrialSpec):
@@ -207,9 +223,12 @@ def _ignore_sigint() -> None:
 
 def _lane_blocks(pending: Sequence[TrialSpec]) -> List[List[TrialSpec]]:
     """Split pending specs into per-cell lane blocks — the sharded unit of
-    work.  Block size is the protocol's advertised ``batch_lane_width``
-    (:data:`LANE_WIDTH` when it has none), so a worker runs each block in
-    one kernel pass; the split never crosses a cell boundary."""
+    work.  Block size is :data:`STREAM_BLOCK_FACTOR` times the protocol's
+    advertised ``batch_lane_width`` (:data:`LANE_WIDTH` when it has none):
+    each worker runs its block as one continuously-refilled lane stream
+    (``run_trial_batch``), so a block carries several trials per slot to
+    give the stream a pending queue to compact over; the split never
+    crosses a cell boundary."""
     blocks: List[List[TrialSpec]] = []
     for group in _group_by_cell(pending):
         first = group[0]
@@ -221,9 +240,9 @@ def _lane_blocks(pending: Sequence[TrialSpec]) -> List[List[TrialSpec]]:
             knobs=first.protocol_knobs,
             default=LANE_WIDTH,
         )
-        width = max(1, int(width))
-        for start in range(0, len(group), width):
-            blocks.append(group[start : start + width])
+        size = max(1, int(width)) * STREAM_BLOCK_FACTOR
+        for start in range(0, len(group), size):
+            blocks.append(group[start : start + size])
     return blocks
 
 

@@ -201,7 +201,9 @@ class BatchNetwork:
         whole argument means no jamming anywhere).  Each non-``None`` entry
         must be a distinct object — adversaries carry per-execution state.
     max_slots:
-        Safety cap applied per lane; :meth:`commit_block` reports (rather
+        Safety cap applied per lane — a scalar for a uniform cap or one
+        value per lane (continuous batching refills a slot with a trial
+        that may carry its own cap); :meth:`commit_block` reports (rather
         than raises) per-lane overruns so one runaway lane cannot abort the
         batch.
     """
@@ -239,7 +241,16 @@ class BatchNetwork:
         self.energy = BatchEnergyLedger(
             self.B, self.n, listen_cost=listen_cost, send_cost=send_cost, jam_cost=jam_cost
         )
-        self.max_slots = int(max_slots)
+        cap = np.asarray(max_slots, dtype=np.int64)
+        if cap.ndim == 0:
+            cap = np.full(self.B, int(cap), dtype=np.int64)
+        elif cap.shape != (self.B,):
+            raise ValueError(
+                f"max_slots shaped {cap.shape}, expected a scalar or ({self.B},)"
+            )
+        else:
+            cap = cap.copy()
+        self.max_slots = cap
         self._pending: Optional[tuple] = None  # (lane_ids, physical K)
 
     # -- clocks ----------------------------------------------------------------
@@ -390,7 +401,151 @@ class BatchNetwork:
         self.energy.charge_nodes(lane_ids, listen_counts, send_counts)
         self.energy.advance(lane_ids, K)
         self._pending = None
-        return self.energy.slots[lane_ids] > self.max_slots
+        return self.energy.slots[lane_ids] > self.max_slots[lane_ids]
+
+    # -- continuous lane batching (ragged blocks + slot reuse) -----------------
+    def replace_lane(self, lane: int, seed: int, adversary=None, *, max_slots=None) -> None:
+        """Reuse one lane slot for a fresh trial: new generator, new (reset)
+        adversary, zeroed books, clock back to 0.
+
+        The slot's history is erased — exactly as if the :class:`BatchNetwork`
+        had been built with this (seed, adversary) in that position from the
+        start, which is what makes refill schedule-invariant (a lane's stream
+        never observes other lanes, so *when* a slot is recycled cannot leak
+        into the trial it hosts).
+        """
+        if self._pending is not None:
+            raise BlockProtocolError("replace_lane during a drawn-but-uncommitted block")
+        lane = int(lane)
+        if not 0 <= lane < self.B:
+            raise ValueError(f"lane {lane} out of range for B={self.B}")
+        if adversary is not None:
+            for other, existing in enumerate(self.adversaries):
+                if existing is adversary and other != lane:
+                    raise ValueError("each lane needs its own adversary instance (state!)")
+            adversary.reset()
+        self.adversaries[lane] = adversary
+        self.rngs[lane] = RandomFabric(int(seed)).generator("nodes")
+        self.energy.reset_lane(lane)
+        if max_slots is not None:
+            self.max_slots[lane] = int(max_slots)
+
+    def draw_channels_ragged(
+        self, lane_ids: np.ndarray, block_rows: np.ndarray, num_channels
+    ) -> np.ndarray:
+        """Concatenated per-lane channel draws: ``(sum(block_rows), n)`` int32,
+        lane-major.  ``block_rows`` gives each listed lane its own row count
+        (the ragged analogue of :meth:`draw_channels`); ``num_channels`` is a
+        scalar or one channel count per lane.  Lane ``l``'s chunk comes from
+        lane ``l``'s own generator with the same call a scalar protocol makes.
+        """
+        rows = np.asarray(block_rows, dtype=np.int64)
+        Cs = np.broadcast_to(
+            np.asarray(num_channels, dtype=np.int64), rows.shape
+        )
+        out = np.empty((int(rows.sum()), self.n), dtype=np.int32)
+        pos = 0
+        for l, K, C in zip(lane_ids, rows, Cs):
+            out[pos : pos + K] = self.rngs[l].integers(
+                0, int(C), size=(int(K), self.n), dtype=np.int32
+            )
+            pos += int(K)
+        return out
+
+    def draw_coins_ragged(self, lane_ids: np.ndarray, block_rows: np.ndarray) -> np.ndarray:
+        """Concatenated per-lane coin draws: ``(sum(block_rows), n)`` float64."""
+        rows = np.asarray(block_rows, dtype=np.int64)
+        out = np.empty((int(rows.sum()), self.n), dtype=np.float64)
+        pos = 0
+        for l, K in zip(lane_ids, rows):
+            # filling the chunk in place consumes the stream exactly like
+            # random((K, n)) would, without the temporary + copy
+            self.rngs[l].random(out=out[pos : pos + int(K)])
+            pos += int(K)
+        return out
+
+    def draw_jamming_ragged(
+        self, lane_ids: np.ndarray, block_rows: np.ndarray, num_channels
+    ) -> list:
+        """Eve's jamming for a ragged block: one :class:`JamBlock` per listed
+        lane (lane ``l`` covering its own ``block_rows[l]`` physical slots on
+        its own channel count).  Charges each lane's spend immediately; must
+        be followed by exactly one :meth:`commit_counts_ragged` over the same
+        lanes and row counts.  The per-lane blocks are returned unstacked
+        because channel counts may differ across lanes (the adv lattice) —
+        callers with a uniform C can ``JamBlock.stack`` them.
+        """
+        if self._pending is not None:
+            raise BlockProtocolError("draw_jamming called twice without commit")
+        lane_ids = np.asarray(lane_ids, dtype=np.int64)
+        rows = np.asarray(block_rows, dtype=np.int64)
+        if lane_ids.size == 0:
+            raise ValueError("need at least one lane in the block")
+        if lane_ids.shape != rows.shape:
+            raise ValueError("block_rows must give one row count per lane")
+        Cs = np.broadcast_to(np.asarray(num_channels, dtype=np.int64), rows.shape)
+        if (rows <= 0).any() or (Cs <= 0).any():
+            raise ValueError("block_slots and num_channels must be positive")
+        blocks = []
+        totals = np.zeros(lane_ids.size, dtype=np.int64)
+        for j, (l, K, C) in enumerate(zip(lane_ids, rows, Cs)):
+            adversary = self.adversaries[l]
+            if adversary is None:
+                jam = JamBlock.empty(int(K), int(C))
+            else:
+                jam = JamBlock.coerce(
+                    adversary.jam_block(int(self.energy.slots[l]), int(K), int(C))
+                )
+                if jam.K != int(K) or jam.C != int(C):
+                    raise ValueError(
+                        f"adversary of lane {int(l)} returned jamming for "
+                        f"(K={jam.K}, C={jam.C}), expected (K={int(K)}, C={int(C)})"
+                    )
+            totals[j] = jam.total()
+            blocks.append(jam)
+        self.energy.charge_adversary(lane_ids, totals)
+        self._pending = (lane_ids, rows)
+        return blocks
+
+    def commit_counts_ragged(
+        self,
+        lane_ids: np.ndarray,
+        listen_counts: np.ndarray,
+        send_counts: np.ndarray,
+        block_rows: np.ndarray,
+        *,
+        slots_per_row: int = 1,
+    ) -> np.ndarray:
+        """Commit a ragged block from per-node action counts; same pairing
+        discipline and per-lane overrun mask as :meth:`commit_counts`, with
+        each lane advancing by its own ``block_rows[l] * slots_per_row``."""
+        if self._pending is None:
+            raise BlockProtocolError("commit called without draw_jamming")
+        lane_ids = np.asarray(lane_ids, dtype=np.int64)
+        rows = np.asarray(block_rows, dtype=np.int64)
+        pending_ids, pending_rows = self._pending
+        if slots_per_row <= 0:
+            raise ValueError("slots_per_row must be positive")
+        if not np.array_equal(lane_ids, pending_ids):
+            raise BlockProtocolError("commit lanes differ from draw_jamming lanes")
+        physical = rows * int(slots_per_row)
+        if not np.array_equal(physical, np.broadcast_to(pending_rows, physical.shape)):
+            raise BlockProtocolError(
+                f"committed {physical.tolist()} physical slots but drew jamming "
+                f"for {np.asarray(pending_rows).tolist()}"
+            )
+        if listen_counts.shape != (lane_ids.size, self.n) or send_counts.shape != (
+            lane_ids.size,
+            self.n,
+        ):
+            raise ValueError(
+                f"counts shaped {listen_counts.shape}/{send_counts.shape}, "
+                f"expected ({lane_ids.size}, {self.n})"
+            )
+        self.energy.charge_nodes(lane_ids, listen_counts, send_counts)
+        self.energy.advance(lane_ids, physical)
+        self._pending = None
+        return self.energy.slots[lane_ids] > self.max_slots[lane_ids]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BatchNetwork(n={self.n}, B={self.B}, clocks={self.clocks.tolist()})"

@@ -190,9 +190,18 @@ class BatchEnergyLedger:
         """Add per-lane jammed channel-slots to Eve's books."""
         self.jammed_channel_slots[lane_ids] += channel_slots
 
-    def advance(self, lane_ids: np.ndarray, slots: int) -> None:
-        """Advance the given lanes' clocks by ``slots``."""
-        self.slots[lane_ids] += int(slots)
+    def advance(self, lane_ids: np.ndarray, slots) -> None:
+        """Advance the given lanes' clocks by ``slots`` (scalar, or one
+        count per lane for ragged blocks)."""
+        self.slots[lane_ids] += np.asarray(slots, dtype=np.int64)
+
+    def reset_lane(self, lane: int) -> None:
+        """Zero one lane's books — the freed slot is about to host a fresh
+        trial (continuous lane batching, DESIGN.md section 13)."""
+        self.listen_slots[lane] = 0
+        self.send_slots[lane] = 0
+        self.jammed_channel_slots[lane] = 0
+        self.slots[lane] = 0
 
     # -- readers --------------------------------------------------------------
     def lane_node_cost(self, lane: int) -> np.ndarray:

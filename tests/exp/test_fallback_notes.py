@@ -23,8 +23,11 @@ from repro.exp import CampaignSpec, ResultStore, run_campaign
 
 @pytest.fixture
 def batchless_multicast(monkeypatch):
-    """MultiCast with its batch kernel hidden: every lane scalar-falls-back."""
+    """MultiCast with both lane kernels hidden: every lane scalar-falls-back
+    (a streamless protocol first falls back to fixed blocks, which then
+    dispatch per lane)."""
     monkeypatch.delattr(MultiCast, "run_batch")
+    monkeypatch.delattr(MultiCast, "run_stream")
 
 
 def fallback_campaign(trials):

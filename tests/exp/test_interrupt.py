@@ -18,7 +18,10 @@ import time
 
 import pytest
 
-TRIALS = 10
+# enough trials for several lane blocks per worker (blocks now carry
+# batch_lane_width * STREAM_BLOCK_FACTOR = 8 trials each), so the first
+# flushed block still leaves the campaign mid-flight to interrupt
+TRIALS = 48
 CMD_TAIL = [
     "-m", "repro", "sweep",
     "--protocols", "multicast", "--jammers", "blanket",

@@ -183,29 +183,31 @@ class TestBatchedBackend:
 
     def test_lane_width_defaults_to_protocol_preference(self, monkeypatch):
         """With no explicit lane_width, run_trial_batch honors the built
-        protocol's advertised batch_lane_width (MultiCastAdv prefers wide
-        lanes) and falls back to the module LANE_WIDTH otherwise — a
-        throughput knob only, so asserting the chunking suffices."""
+        protocol's advertised stream_lane_width (MultiCastAdv streams wide
+        because refill keeps wide batches occupied) and falls back to the
+        module LANE_WIDTH otherwise — a throughput knob only, so asserting
+        the stream dispatch suffices."""
         import repro.exp.pool as pool
 
-        widths = []
-        real = pool.run_broadcast_batch
+        calls = []
+        real = pool.run_broadcast_stream
 
         def spy(protocol, n, adversaries, seeds, **kw):
-            widths.append(len(seeds))
+            calls.append((len(seeds), kw.get("lane_width")))
             return real(protocol, n, adversaries, seeds, **kw)
 
-        monkeypatch.setattr(pool, "run_broadcast_batch", spy)
+        monkeypatch.setattr(pool, "run_broadcast_stream", spy)
         adv = small_campaign(
             protocols=["adv"], jammers=["none"], trials=3, budget=0,
             protocol_knobs={"adv": {"b": 0.01, "max_epochs": 2}},
         ).trial_specs()
         list(run_trial_batch(adv))
-        assert widths == [3]  # preference 8 caps at the 3 pending trials
-        widths.clear()
+        # one stream over all pending specs; preference 32 caps at 3 inside
+        assert calls == [(3, 32)]
+        calls.clear()
         mc = small_campaign(protocols=["multicast"], jammers=["none"], trials=3).trial_specs()
         list(run_trial_batch(mc))
-        assert widths == [2, 1]  # DEFAULT_LANE_WIDTH = 2 chunks
+        assert calls == [(3, 2)]  # DEFAULT_LANE_WIDTH = 2 slots
 
     def test_run_trial_batch_rejects_mixed_cells(self):
         mixed = small_campaign(protocols=["multicast", "core"], trials=1).trial_specs()

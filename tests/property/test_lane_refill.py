@@ -1,0 +1,150 @@
+"""Property-based tests for continuous lane batching (compaction/refill).
+
+Strategy: generate arbitrary retire/refill schedules — random per-trial slot
+caps (the retire times), random lane widths (the refill pressure), random
+trial counts — and check the compaction contract (DESIGN.md section 13):
+
+* per-trial results are invariant under the schedule: the stream reproduces
+  the per-trial fixed-lane rows bit-identically, whatever order slots retire
+  and refill in;
+* every trial runs exactly once: ``LaneStream`` rejects a double
+  :meth:`~repro.core.batch.LaneStream.finish`, every result lands, and the
+  occupancy telemetry (``batch.lanes`` / ``adv_batch.lanes``) counts each
+  trial exactly once;
+* the refill ledger balances: refills == trials - initial lane count.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_broadcast_batch
+from repro.core.batch import LaneStream, run_broadcast_stream
+from repro.exp.registry import build_jammer, build_protocol
+from repro.obs import collect_telemetry
+
+N = 8
+BUDGET = 2_000
+#: cap menu spanning instant retirement (7 slots) to never-truncated
+CAP_MENU = [7, 16, 150, 3_000, 50_000_000]
+
+ADV_FAST = dict(
+    alpha=0.24, b=0.01, halt_noise_divisor=20.0, helper_wait=2.0, max_epochs=8
+)
+
+PROTOCOLS = {
+    "multicast": (lambda: build_protocol("multicast", N), "batch"),
+    "adv": (lambda: build_protocol("adv", N, knobs=ADV_FAST), "adv_batch"),
+}
+
+
+@st.composite
+def refill_schedules(draw):
+    """An arbitrary compaction workload: trial caps, width, protocol."""
+    caps = draw(
+        st.lists(st.sampled_from(CAP_MENU), min_size=1, max_size=7)
+    )
+    width = draw(st.integers(1, 5))
+    seed0 = draw(st.integers(0, 10_000))
+    name = draw(st.sampled_from(sorted(PROTOCOLS)))
+    return name, caps, width, seed0
+
+
+def jammers(count, seed0):
+    return [build_jammer("blanket", BUDGET, seed0 + t, n=N) for t in range(count)]
+
+
+@given(refill_schedules())
+@settings(max_examples=25, deadline=None)
+def test_schedule_never_changes_a_trial(case):
+    name, caps, width, seed0 = case
+    factory, _ = PROTOCOLS[name]
+    seeds = [seed0 + 17 * t for t in range(len(caps))]
+    got = run_broadcast_stream(
+        factory(),
+        N,
+        jammers(len(caps), seed0),
+        seeds,
+        max_slots=np.asarray(caps),
+        lane_width=width,
+    )
+    assert all(r is not None for r in got)
+    for t, (seed, cap) in enumerate(zip(seeds, caps)):
+        # fixed single-lane reference: the trial alone, no schedule at all
+        (reference,) = run_broadcast_batch(
+            factory(),
+            N,
+            jammers(len(caps), seed0)[t : t + 1],
+            [seed],
+            max_slots=np.asarray([cap]),
+        )
+        assert got[t].slots == reference.slots, (case, t)
+        assert got[t].completed == reference.completed, (case, t)
+        assert got[t].adversary_spend == reference.adversary_spend, (case, t)
+        np.testing.assert_array_equal(
+            got[t].informed_slot, reference.informed_slot, err_msg=f"{case} t={t}"
+        )
+        np.testing.assert_array_equal(
+            got[t].node_energy, reference.node_energy, err_msg=f"{case} t={t}"
+        )
+
+
+@given(refill_schedules())
+@settings(max_examples=25, deadline=None)
+def test_each_trial_runs_exactly_once(case):
+    name, caps, width, seed0 = case
+    factory, prefix = PROTOCOLS[name]
+    seeds = [seed0 + 17 * t for t in range(len(caps))]
+    with collect_telemetry() as tel:
+        got = run_broadcast_stream(
+            factory(),
+            N,
+            jammers(len(caps), seed0),
+            seeds,
+            max_slots=np.asarray(caps),
+            lane_width=width,
+        )
+        agg = tel.take_aggregates()
+    counters = agg["counters"]
+    trials = len(caps)
+    # every result slot filled — LaneStream.finish would have raised on a
+    # double run, so lanes == trials pins "exactly once"
+    assert len(got) == trials and all(r is not None for r in got)
+    assert counters.get(f"{prefix}.lanes", 0) == trials
+    assert counters.get(f"{prefix}.batches", 0) == 1
+    # refill ledger: everything beyond the initially-admitted lanes was a
+    # refill, regardless of retire order
+    assert counters.get(f"{prefix}.refills", 0) == trials - min(width, trials)
+
+
+@given(st.integers(0, 4), st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_lane_stream_rejects_double_finish(slot_pick, width):
+    stream = LaneStream(N, list(range(6)), [None] * 6, [100] * 6, width)
+    slot = slot_pick % stream.width
+    stream.finish(slot, object())
+    try:
+        stream.finish(slot, object())
+    except RuntimeError as err:
+        assert "finished twice" in str(err)
+    else:
+        raise AssertionError("double finish must raise")
+    # after a refill the slot hosts a fresh trial and may finish again
+    if stream.refill(slot):
+        stream.finish(slot, object())
+
+
+@given(st.integers(1, 12), st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_refill_ledger_drains_exactly(trials, width):
+    stream = LaneStream(N, list(range(trials)), [None] * trials, [100] * trials, width)
+    drained = 0
+    for round_robin in range(trials):
+        slot = round_robin % stream.width
+        if stream.results[stream._slot_trial[slot]] is None:
+            stream.finish(slot, round_robin)
+            drained += 1
+            stream.refill(slot)
+    assert stream.refills == trials - stream.width
+    assert stream.next_trial == trials
+    assert not stream.refill(0), "a drained stream must refuse further refills"
