@@ -36,12 +36,13 @@ reproduction runs don't require writing a script.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import os
 import sys
 import time
 from concurrent.futures.process import BrokenProcessPool
-from typing import Optional
+from typing import Optional, Set
 
 from repro import MultiCastC, run_broadcast
 from repro.analysis import render_table
@@ -49,11 +50,14 @@ from repro.arena import run_broadcast_adaptive, supports_protocol
 from repro.exp import (
     CampaignInterrupted,
     CampaignSpec,
+    RecoveryLog,
     ResultStore,
     StoppingRule,
+    StoreWriteError,
     UnknownNameError,
     aggregate,
     merge_shards,
+    remaining_quarantined,
     run_campaign,
 )
 from repro.exp import registry
@@ -262,6 +266,53 @@ def _sweep_rows(cells):
     return rows
 
 
+@contextlib.contextmanager
+def _fault_plan_env(path: Optional[str]):
+    """Validate a ``--fault-plan`` file and export it to the campaign (and
+    its workers) through :data:`~repro.faults.FAULT_PLAN_ENV`, restoring the
+    previous environment on exit.  A malformed plan is a usage error, caught
+    before any trial runs."""
+    if path is None:
+        yield
+        return
+    from repro.faults import FAULT_PLAN_ENV, FaultPlan
+
+    try:
+        plan = FaultPlan.load(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read fault plan: {exc}") from None
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"bad fault plan {path!r}: {exc}") from None
+    print(
+        f"fault injection: plan {plan.name!r} armed "
+        f"({len(plan.faults)} fault(s), seed {plan.seed})",
+        file=sys.stderr,
+    )
+    previous = os.environ.get(FAULT_PLAN_ENV)
+    os.environ[FAULT_PLAN_ENV] = os.path.abspath(path)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(FAULT_PLAN_ENV, None)
+        else:
+            os.environ[FAULT_PLAN_ENV] = previous
+
+
+def _campaign_keys(campaign: CampaignSpec) -> Set[str]:
+    """Every trial key the campaign could own.  Adaptive campaigns expand to
+    the per-cell cap: a quarantined trial must count against the sweep even
+    when the stopping rule would have ended the cell earlier."""
+    if campaign.adaptive:
+        cap = campaign.resolved_max_trials()
+        return {
+            dataclasses.replace(template, trial=t).key()
+            for template in campaign.cell_templates()
+            for t in range(cap)
+        }
+    return {s.key() for s in campaign.trial_specs()}
+
+
 def _fmt_duration(seconds: float) -> str:
     """Compact duration for progress lines: 47s, 3m09s, 1h02m."""
     seconds = max(0, int(round(seconds)))
@@ -323,8 +374,9 @@ def cmd_sweep(args) -> int:
                 file=sys.stderr,
             )
 
+    recovery = RecoveryLog()
     try:
-        with store:
+        with _fault_plan_env(args.fault_plan), store:
             records = run_campaign(
                 campaign,
                 store,
@@ -332,6 +384,7 @@ def cmd_sweep(args) -> int:
                 progress=progress,
                 backend=args.backend,
                 telemetry=args.telemetry,
+                recovery=recovery,
             )
     except CampaignInterrupted as exc:
         print(
@@ -340,7 +393,13 @@ def cmd_sweep(args) -> int:
             file=sys.stderr,
         )
         return 130
+    except StoreWriteError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
     except BrokenProcessPool:
+        # the supervisor respawns pools and degrades to serial before giving
+        # up, so reaching here means the pool died outside its watch (e.g.
+        # during startup); stored rows are still safe
         print(
             "a worker process died; completed trials are safe in the shard "
             "files — re-run the same command to resume",
@@ -362,6 +421,17 @@ def cmd_sweep(args) -> int:
         _print_stopping_table(campaign, store)
     if args.telemetry:
         _print_telemetry_summary(args.store)
+    for line in recovery.summary_lines():
+        print(f"recovery: {line}", file=sys.stderr)
+    leftover = remaining_quarantined(store, _campaign_keys(campaign))
+    if leftover:
+        print(
+            f"quarantine: {len(leftover)} trial(s) still unresolved "
+            f"(see {args.store}.quarantine.jsonl); aggregates above exclude "
+            "them — re-run the same command to retry",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 
@@ -594,6 +664,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record run telemetry to <store>.telemetry.jsonl (needs --store; "
         "trial rows are untouched — view with `repro obs <store>`)",
+    )
+    p_sw.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON",
+        help="inject deterministic faults from this plan file (testing the "
+        "supervision layer; see repro.faults)",
     )
     p_sw.set_defaults(fn=cmd_sweep)
 

@@ -67,10 +67,20 @@ from repro.exp.store import (
     CellStats,
     ResultStore,
     StoppingRecord,
+    StoreWriteError,
     StreamAggregator,
     TrialRecord,
     aggregate,
     stream_aggregate,
+)
+from repro.exp.supervisor import (
+    QuarantineRecord,
+    RecoveryLog,
+    Supervisor,
+    SupervisorPolicy,
+    quarantine_path,
+    read_quarantine,
+    remaining_quarantined,
 )
 
 __all__ = [
@@ -78,10 +88,15 @@ __all__ = [
     "CampaignInterrupted",
     "CampaignSpec",
     "CellStats",
+    "QuarantineRecord",
+    "RecoveryLog",
     "ResultStore",
     "StoppingRecord",
     "StoppingRule",
+    "StoreWriteError",
     "StreamAggregator",
+    "Supervisor",
+    "SupervisorPolicy",
     "TrialRecord",
     "TrialSpec",
     "UnknownNameError",
@@ -98,7 +113,10 @@ __all__ = [
     "oblivious_jammer_names",
     "protocol_lane_width",
     "protocol_names",
+    "quarantine_path",
     "reactive_jammer_names",
+    "read_quarantine",
+    "remaining_quarantined",
     "run_campaign",
     "run_trial",
     "run_trial_batch",

@@ -113,13 +113,14 @@ class _Decision:
 class _CellPlan:
     """One cell's observed metric values, keyed by trial index."""
 
-    __slots__ = ("template", "values", "decision", "recorded")
+    __slots__ = ("template", "values", "decision", "recorded", "poisoned")
 
     def __init__(self, template: "TrialSpec"):
         self.template = template  #: the cell's trial-0 spec
         self.values: Dict[int, float] = {}
         self.decision: Optional[_Decision] = None
         self.recorded = False  #: a StoppingRecord for this rule is in the store
+        self.poisoned = False  #: a trial was quarantined; the cell is abandoned
 
     def cell_key(self) -> str:
         return self.template.key().rsplit("/", 1)[0]  # drop the trailing /t0
@@ -174,12 +175,24 @@ class AdaptiveController:
                 return _Decision("max-trials", achieved, summary.mean, k)
         return None
 
+    def abandon(self, key: str) -> None:
+        """Mark the cell owning trial ``key`` poisoned: no further waves, no
+        stopping decision.  Called when the supervisor quarantines a trial —
+        the cell's complete-prefix invariant can never hold again, so
+        continuing to schedule it would re-run the poison trial forever.
+        Unknown keys (other campaigns sharing the store) are ignored."""
+        hit = self._by_key.get(key)
+        if hit is not None:
+            hit[0].poisoned = True
+
     def take_decisions(self) -> List[StoppingRecord]:
         """Decide every cell that is due, returning the fresh stopping
-        records (append them to the store; idempotent across calls)."""
+        records (append them to the store; idempotent across calls).
+        Poisoned cells never decide — their value prefix has a permanent
+        hole, and a decision computed around it would be a lie."""
         fresh = []
         for plan in self.plans:
-            if plan.decision is None and not plan.recorded:
+            if plan.decision is None and not plan.recorded and not plan.poisoned:
                 plan.decision = self._decide(plan)
                 if plan.decision is not None:
                     fresh.append(self._record(plan, plan.decision))
@@ -208,7 +221,7 @@ class AdaptiveController:
         cells do not get another wave."""
         pending = []
         for plan in self.plans:
-            if plan.decision is not None or plan.recorded:
+            if plan.decision is not None or plan.recorded or plan.poisoned:
                 continue
             # an undecided cell always has an incomplete boundary (a complete
             # final boundary forces a max-trials decision); the smallest one
@@ -231,7 +244,7 @@ class AdaptiveController:
         (NaN metrics, zero mean) are omitted rather than serialized."""
         out: Dict[str, float] = {}
         for plan in self.plans:
-            if plan.decision is not None or plan.recorded:
+            if plan.decision is not None or plan.recorded or plan.poisoned:
                 continue
             best = None
             for k in self.rule.boundaries():
@@ -250,11 +263,22 @@ class AdaptiveController:
         plus recorded decisions define the per-cell trial counts."""
         keys = []
         for plan in self.plans:
-            count = plan.decision.trials if plan.decision else len(plan.values)
+            if plan.decision is not None:
+                count = plan.decision.trials
+            elif plan.values:
+                # no decision (interrupted, or abandoned with a hole where
+                # the quarantined trial would sit): own every index up to
+                # the largest observed, so completed neighbors still report
+                count = max(plan.values) + 1
+            else:
+                count = 0
             for t in range(count):
                 keys.append(dataclasses.replace(plan.template, trial=t).key())
         return keys
 
     @property
     def done(self) -> bool:
-        return all(plan.decision is not None or plan.recorded for plan in self.plans)
+        return all(
+            plan.decision is not None or plan.recorded or plan.poisoned
+            for plan in self.plans
+        )

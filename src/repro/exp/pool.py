@@ -25,13 +25,19 @@ worker ran it or when:
   before forking, since closures cannot be pickled.  On platforms without
   ``fork`` it silently degrades to a serial map.
 
-Crash discipline: workers ignore SIGINT; the parent catches the first one,
-cancels the queued blocks, and raises :class:`CampaignInterrupted` — blocks
-already running finish flushing into their shards.  A worker killed outright
-(SIGKILL, OOM) surfaces as ``BrokenProcessPool``; either way the next
-``run_campaign`` against the same store begins by merging leftover shards, so
-every completed trial is kept exactly once and only genuinely-lost trials
-re-run.  See DESIGN.md section 10.
+Crash discipline: workers ignore SIGINT and SIGTERM; the parent catches the
+first of either (SIGTERM is re-raised as ``KeyboardInterrupt`` for the
+duration of a campaign, so container/CI termination gets the same resumable
+exit), cancels the queued blocks, and raises :class:`CampaignInterrupted` —
+blocks already running finish flushing into their shards.  A worker killed
+outright (SIGKILL, OOM) surfaces as ``BrokenProcessPool`` and is *survived*:
+the :class:`~repro.exp.supervisor.Supervisor` respawns the pool, retries
+failing blocks with backoff, quarantines poison trials, and degrades to
+serial execution if pools keep dying — all without changing a single result
+byte (DESIGN.md section 14).  The next ``run_campaign`` against the same
+store begins by merging leftover shards, so every completed trial is kept
+exactly once and only genuinely-lost trials re-run.  See DESIGN.md
+section 10.
 """
 
 from __future__ import annotations
@@ -40,8 +46,9 @@ import dataclasses
 import multiprocessing
 import os
 import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.analysis.stats import DEFAULT_LANE_WIDTH
@@ -49,9 +56,15 @@ from repro.core.batch import FallbackNotes, collect_fallback_notes, run_broadcas
 from repro.core.result import run_broadcast
 from repro.exp.adaptive import AdaptiveController
 from repro.exp.registry import build_jammer, build_protocol, protocol_lane_width
-from repro.exp.shard import merge_shards, shard_path
+from repro.exp.shard import merge_shards, shard_append, shard_path
 from repro.exp.spec import CampaignSpec, TrialSpec
 from repro.exp.store import ResultStore, TrialRecord
+from repro.exp.supervisor import RecoveryLog, Supervisor, SupervisorPolicy
+from repro.faults.inject import (
+    active as _faults_active,
+    injector_from_env as _injector_from_env,
+    install as _faults_install,
+)
 from repro.obs.merge import merge_telemetry_shards, telemetry_shard_path
 from repro.obs.recorder import (
     Telemetry,
@@ -254,17 +267,24 @@ _SHARD_STATE: dict = {"fh": None}
 def _shard_worker_init(
     counter, store_path: Optional[str], telemetry: bool = False
 ) -> None:
-    """Pool initializer: ignore SIGINT (the parent owns interrupts) and — for
-    on-disk stores — claim the next shard index and open its file.
+    """Pool initializer: ignore SIGINT/SIGTERM (the parent owns interrupts
+    and termination) and — for on-disk stores — claim the next shard index
+    and open its file.
 
     The active telemetry recorder is always cleared first: under the fork
     start method a worker would otherwise inherit the parent's recorder —
     including its open handle on the *merged* telemetry file, breaking the
     single-writer-per-file rule.  With ``telemetry`` set the worker installs
-    its own recorder on its own ``<store>.telemetry.shard-<k>.jsonl``."""
+    its own recorder on its own ``<store>.telemetry.shard-<k>.jsonl``.
+    Similarly, any inherited fault injector is replaced by a *worker*-role
+    one built from ``REPRO_FAULT_PLAN`` (or cleared, when the env var is
+    unset) — worker-level faults must never fire in the parent and vice
+    versa."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
     _SHARD_STATE["fh"] = None
     _obs_install(None)
+    _faults_install(_injector_from_env("worker"))
     if store_path is not None:
         with counter.get_lock():
             worker = int(counter.value)
@@ -279,11 +299,23 @@ def _shard_worker_init(
             )
 
 
-def _run_shard_block(specs: List[TrialSpec], backend: str):
+def _run_shard_block(specs: List[TrialSpec], backend: str, attempt: int = 0):
     """Execute one lane block inside a worker; flush it to the worker's
     shard; return the records plus the block's scalar-fallback tally and
     telemetry aggregates (both plain dicts — the worker -> parent
-    transport; discrete events stream to the worker's telemetry shard)."""
+    transport; discrete events stream to the worker's telemetry shard).
+
+    ``attempt`` is the supervisor's dispatch counter for this block — it
+    does not change execution (seeds derive from specs alone), only which
+    injected faults fire: a fault plan entry with ``times=k`` hits attempts
+    ``0..k-1`` and then lets the retry succeed.  The shard flush happens
+    only after the whole block ran clean, so a failed attempt contributes
+    no rows and the retry cannot create duplicates."""
+    keys = [s.key() for s in specs]
+    inj = _faults_active()
+    if inj is not None:
+        inj.on_block_start(keys, attempt)
+        inj.check_trials(keys, attempt)
     with collect_fallback_notes() as notes:
         if backend == "scalar":
             records = [run_trial(spec) for spec in specs]
@@ -291,9 +323,17 @@ def _run_shard_block(specs: List[TrialSpec], backend: str):
             records = list(run_trial_batch(specs))
     fh = _SHARD_STATE["fh"]
     if fh is not None:
+        lines = []
         for record in records:
-            fh.write(record.to_json_line() + "\n")
-        fh.flush()
+            line = record.to_json_line()
+            if inj is not None:
+                line = inj.corrupt_line(record.key, attempt, line) or line
+            lines.append(line)
+        shard_append(fh, lines)
+        tail = inj.torn_tail(keys, attempt) if inj is not None else None
+        if tail is not None:
+            fh.write(tail)
+            fh.flush()
     tel = _obs_active()
     telem = tel.take_aggregates() if tel is not None else None
     return records, notes.snapshot(), telem
@@ -307,55 +347,34 @@ def _execute_sharded(
     backend: str,
     record_one: Callable[[TrialRecord], None],
     notes: FallbackNotes,
+    policy: Optional[SupervisorPolicy] = None,
+    recovery: Optional[RecoveryLog] = None,
 ) -> None:
-    """Fan lane blocks across a process pool; fold shards back on success.
+    """Fan lane blocks across a *supervised* process pool; fold shards back.
 
     Futures are consumed in submission (canonical) order, so progress,
     parent-side accounting, and main-store row order are deterministic even
-    though workers complete out of order.  Two writers never share a file:
-    each worker appends to its own shard, and the parent — the main store's
-    only writer — appends each block's records as its future lands.  The
-    closing :func:`merge_shards` therefore normally finds nothing new and
-    just deletes the shards; the shards earn their keep on failure — SIGINT,
-    a worker killed hard (``BrokenProcessPool``), a raising trial — when
-    queued blocks are cancelled, consumed-but-unmerged rows are already in
-    the main store, and completed-but-unconsumed rows wait in the shards for
-    the next run's opening merge."""
-    ctx = multiprocessing.get_context()
-    counter = ctx.Value("i", 0)
-    tel = _obs_active()
-    executor = ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=ctx,
-        initializer=_shard_worker_init,
-        initargs=(counter, store.path, tel is not None and store.path is not None),
-    )
-    try:
-        futures = [
-            executor.submit(_run_shard_block, block, backend)
-            for block in _lane_blocks(pending)
-        ]
-        for i, future in enumerate(futures):
-            records, counts, telem = future.result()
-            notes.merge(counts)
-            if tel is not None:
-                if telem:
-                    tel.merge_aggregates(telem)
-                # parent-side view of the work backlog as futures land
-                tel.emit(
-                    "queue_depth",
-                    pending=len(futures) - i - 1,
-                    elapsed=round(time.perf_counter() - tel.t0, 6),
-                )
-            for record in records:
-                record_one(record)
-    except BaseException:
-        executor.shutdown(wait=False, cancel_futures=True)
-        raise
-    executor.shutdown(wait=True)
-    merge_shards(store)
-    if tel is not None and store.path is not None:
-        merge_telemetry_shards(store.path)
+    though workers complete out of order — and the
+    :class:`~repro.exp.supervisor.Supervisor` preserves that order through
+    every recovery action (retry, pool respawn, straggler re-dispatch,
+    quarantine bisect, serial degradation; DESIGN.md section 14).  Two
+    writers never share a file: each worker appends to its own shard, and
+    the parent — the main store's only writer — appends each block's
+    records as its future lands.  The closing :func:`merge_shards`
+    therefore normally finds nothing new and just deletes the shards; the
+    shards earn their keep on failure — SIGINT/SIGTERM, a worker killed
+    hard (``BrokenProcessPool``) — when consumed-but-unmerged rows are
+    already in the main store and completed-but-unconsumed rows wait in the
+    shards for a respawned pool's (or the next run's) opening merge."""
+    Supervisor(
+        store=store,
+        workers=workers,
+        backend=backend,
+        record_one=record_one,
+        notes=notes,
+        policy=policy,
+        recovery=recovery,
+    ).run(_lane_blocks(pending))
 
 
 def _collect(store: ResultStore, keys: Set[str]) -> List[TrialRecord]:
@@ -367,6 +386,48 @@ def _collect(store: ResultStore, keys: Set[str]) -> List[TrialRecord]:
     return [r for r in store.records() if r.key in keys]
 
 
+@contextmanager
+def _sigterm_as_interrupt():
+    """SIGTERM parity with SIGINT for the duration of a campaign: container
+    and CI termination raises ``KeyboardInterrupt`` in the parent, which
+    the campaign body converts to :class:`CampaignInterrupted` — shards
+    flush, the exit is resumable, same path as an operator's ^C.  Signal
+    handlers are process-global and main-thread-only, so off the main
+    thread this is a no-op (such callers keep plain-SIGTERM semantics)."""
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.getsignal(signal.SIGTERM)
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt()
+
+    signal.signal(signal.SIGTERM, _handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+@contextmanager
+def _env_fault_injector():
+    """Install a parent-role fault injector from ``REPRO_FAULT_PLAN`` for
+    the campaign's duration — unless the caller already installed one
+    (tests use :func:`repro.faults.plan_env`, which does both)."""
+    if _faults_active() is not None:
+        yield
+        return
+    injector = _injector_from_env("parent")
+    if injector is None:
+        yield
+        return
+    previous = _faults_install(injector)
+    try:
+        yield
+    finally:
+        _faults_install(previous)
+
+
 def run_campaign(
     campaign: CampaignSpec,
     store: Optional[ResultStore] = None,
@@ -375,6 +436,8 @@ def run_campaign(
     progress: Optional[ProgressCallback] = None,
     backend: str = "auto",
     telemetry: bool = False,
+    policy: Optional[SupervisorPolicy] = None,
+    recovery: Optional[RecoveryLog] = None,
 ) -> List[TrialRecord]:
     """Run every not-yet-completed trial of ``campaign``; return all records.
 
@@ -415,6 +478,16 @@ def run_campaign(
         shard the telemetry stream alongside the trial shards.  Trial rows
         are untouched: the store is byte-identical with telemetry on and
         off (the never-in-trial-rows contract, ``tests/obs/``).
+    policy:
+        :class:`~repro.exp.supervisor.SupervisorPolicy` for the sharded
+        path's fault handling (retry budget, respawn cap, backoff, block
+        watchdog); ``None`` uses the defaults.  The ``workers=1`` serial
+        loop is unsupervised — a raising trial propagates, which is the
+        debuggability the serial fallback exists for.
+    recovery:
+        Optional :class:`~repro.exp.supervisor.RecoveryLog` the supervisor
+        tallies retries/respawns/quarantines into — pass one to inspect
+        what recovery the campaign needed (the CLI's post-run summary).
 
     Scalar-fallback warnings from the batch engine are collected once per
     campaign (one summary line per cause on stderr), not once per lane pass.
@@ -429,21 +502,22 @@ def run_campaign(
         raise ValueError(f"unknown backend {backend!r} (auto, scalar, batched)")
     if store is None:
         store = ResultStore(None)
-    if telemetry:
-        if store.path is None:
-            raise ValueError(
-                "telemetry needs an on-disk store (its event stream shards "
-                "alongside the trial shards)"
-            )
-        with collect_telemetry(telemetry_path(store.path)):
-            merge_telemetry_shards(store.path)  # crashed-run leftovers
-            return _campaign_body(
-                campaign, store, workers=workers, progress=progress,
-                backend=backend,
-            )
-    return _campaign_body(
-        campaign, store, workers=workers, progress=progress, backend=backend
-    )
+    with _sigterm_as_interrupt(), _env_fault_injector():
+        if telemetry:
+            if store.path is None:
+                raise ValueError(
+                    "telemetry needs an on-disk store (its event stream shards "
+                    "alongside the trial shards)"
+                )
+            with collect_telemetry(telemetry_path(store.path)):
+                return _campaign_body(
+                    campaign, store, workers=workers, progress=progress,
+                    backend=backend, policy=policy, recovery=recovery,
+                )
+        return _campaign_body(
+            campaign, store, workers=workers, progress=progress,
+            backend=backend, policy=policy, recovery=recovery,
+        )
 
 
 def _campaign_body(
@@ -453,12 +527,20 @@ def _campaign_body(
     workers: int,
     progress: Optional[ProgressCallback],
     backend: str,
+    policy: Optional[SupervisorPolicy],
+    recovery: Optional[RecoveryLog],
 ) -> List[TrialRecord]:
     t_start = time.perf_counter()
     merge_shards(store)  # crash leftovers count as completed before anything
+    if store.path is not None:
+        # orphaned telemetry shards from an aborted run are recovered here —
+        # at campaign open, telemetry on or off — not only on the sharded
+        # success path, so no worker's events are stranded forever
+        merge_telemetry_shards(store.path)
     if campaign.adaptive:
         return _run_adaptive(
-            campaign, store, workers=workers, progress=progress, backend=backend
+            campaign, store, workers=workers, progress=progress,
+            backend=backend, policy=policy, recovery=recovery,
         )
     done_keys = store.completed_keys()
     specs = campaign.trial_specs()
@@ -495,6 +577,8 @@ def _campaign_body(
                     backend=backend,
                     record_one=record_one,
                     notes=notes,
+                    policy=policy,
+                    recovery=recovery,
                 )
         except KeyboardInterrupt:
             raise CampaignInterrupted(done, total) from None
@@ -536,14 +620,20 @@ def _run_adaptive(
     workers: int,
     progress: Optional[ProgressCallback],
     backend: str,
+    policy: Optional[SupervisorPolicy],
+    recovery: Optional[RecoveryLog],
 ) -> List[TrialRecord]:
     """Wave loop of an adaptive campaign: decide, schedule, execute, repeat.
 
     Each wave's pending specs go through exactly the machinery a fixed
     campaign uses (serial lane batching or the sharded pool), so adaptive
-    stopping changes *which* trials run, never how any one trial runs."""
+    stopping changes *which* trials run, never how any one trial runs.
+    A trial the supervisor quarantines abandons its whole cell
+    (:meth:`AdaptiveController.abandon`): the cell's prefix can never
+    complete, so scheduling more waves for it would loop forever."""
     t_start = time.perf_counter()
     controller = AdaptiveController(campaign, store)
+    recovery = recovery if recovery is not None else RecoveryLog()
     workers = default_workers() if workers == 0 else max(1, int(workers))
     done = 0
     total = 0
@@ -575,6 +665,7 @@ def _run_adaptive(
                         for spec in wave:
                             record_one(run_trial(spec))
                 else:
+                    quarantined_before = len(recovery.quarantined)
                     _execute_sharded(
                         wave,
                         store,
@@ -582,7 +673,11 @@ def _run_adaptive(
                         backend=backend,
                         record_one=record_one,
                         notes=notes,
+                        policy=policy,
+                        recovery=recovery,
                     )
+                    for q in recovery.quarantined[quarantined_before:]:
+                        controller.abandon(q.key)
                 wave_index += 1
                 tel = _obs_active()
                 if tel is not None:

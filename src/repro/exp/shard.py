@@ -29,10 +29,16 @@ import os
 import re
 from typing import List, Union
 
-from repro.exp.store import ResultStore, StoppingRecord, TrialRecord, iter_jsonl_records
+from repro.exp.store import (
+    ResultStore,
+    StoppingRecord,
+    TrialRecord,
+    _raise_write_error,
+    iter_jsonl_records,
+)
 from repro.obs.recorder import active as _obs_active
 
-__all__ = ["shard_path", "shard_paths", "merge_shards"]
+__all__ = ["shard_path", "shard_paths", "shard_append", "merge_shards"]
 
 #: ``<store>.shard-<k>.jsonl`` — the per-worker sibling of a campaign store.
 _SHARD_SUFFIX = re.compile(r"\.shard-(\d+)\.jsonl$")
@@ -41,6 +47,21 @@ _SHARD_SUFFIX = re.compile(r"\.shard-(\d+)\.jsonl$")
 def shard_path(store_path: str, worker: int) -> str:
     """The shard file worker ``worker`` owns for ``store_path``."""
     return f"{store_path}.shard-{worker}.jsonl"
+
+
+def shard_append(fh, lines: List[str]) -> None:
+    """Flush one block's serialized rows to an open shard handle, wrapping
+    write failures (notably ENOSPC) in
+    :class:`~repro.exp.store.StoreWriteError` so a worker that runs out of
+    disk fails its block with an actionable message instead of a bare
+    ``OSError`` — the supervisor retries or quarantines like any other
+    block failure."""
+    try:
+        for line in lines:
+            fh.write(line + "\n")
+        fh.flush()
+    except OSError as exc:
+        _raise_write_error(getattr(fh, "name", "<shard>"), exc)
 
 
 def shard_paths(store_path: str) -> List[str]:
@@ -59,7 +80,10 @@ def merge_shards(store: ResultStore) -> int:
     Records already in the store (by key) are dropped; so are duplicates
     between shards (first key occurrence wins — and since a key is only ever
     scheduled on one worker per run, true conflicts cannot carry different
-    payloads).  Survivors are appended in key-sorted order, trial records
+    payloads).  Torn and checksum-failing rows are loud-skipped by the
+    reader (:func:`~repro.exp.store.iter_jsonl_records`) rather than
+    ingested, so their trials re-run.  Survivors are appended in key-sorted
+    order, trial records
     first, stopping records after (decisions logically follow the trials
     they judged).  Returns the number of records merged in.  A memory-only
     store has no shards and merges nothing.

@@ -31,13 +31,24 @@ paths share that grouping:
 
 Crash tolerance: a worker killed mid-write can leave one truncated JSON line
 at a shard's tail; readers skip undecodable lines rather than refuse the
-whole store (the interrupted trial simply re-runs on resume).
+whole store (the interrupted trial simply re-runs on resume).  Rows written
+by this version additionally carry a CRC32 checksum field (``cs``) computed
+over everything except ``wall_time`` — the one run-varying field — so silent
+bit-rot is rejected *loudly* on read (:func:`row_intact`) instead of being
+ingested, while logically identical rows keep identical checksums across
+runs and worker counts.  Rows without ``cs`` (the committed stores predate
+it) are accepted unchanged.  Write failures surface as
+:class:`StoreWriteError` with an operator-actionable message (notably
+ENOSPC).  See DESIGN.md section 14.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
+import sys
+import zlib
 from array import array
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set, TextIO, Tuple, Union
@@ -53,10 +64,14 @@ __all__ = [
     "StoppingRecord",
     "ResultStore",
     "CellStats",
+    "StoreWriteError",
     "StreamAggregator",
     "aggregate",
-    "stream_aggregate",
+    "append_jsonl_line",
+    "checksummed_line",
     "iter_jsonl_records",
+    "row_intact",
+    "stream_aggregate",
     "cells_where",
 ]
 
@@ -64,6 +79,66 @@ __all__ = [
 #: for aggregation by name.  ``dissemination_slot`` is None on failed trials
 #: and aggregates as NaN.
 METRICS = ("slots", "max_cost", "mean_cost", "adversary_spend", "dissemination_slot")
+
+
+class StoreWriteError(OSError):
+    """A store/shard/ledger append failed; the message says what to do next."""
+
+
+def _raise_write_error(path: str, exc: OSError) -> "StoreWriteError":
+    if exc.errno == errno.ENOSPC:
+        err = StoreWriteError(
+            f"disk full (ENOSPC) while appending to {path}; rows already "
+            f"flushed are safe — free space and re-run the same command to "
+            f"resume"
+        )
+    else:
+        err = StoreWriteError(f"cannot append to {path}: {exc}")
+    err.errno = exc.errno
+    raise err from exc
+
+
+def _row_checksum(body: dict) -> str:
+    return format(zlib.crc32(json.dumps(body, sort_keys=True).encode()), "08x")
+
+
+def checksummed_line(payload: dict) -> str:
+    """Serialize ``payload`` as a canonical JSONL row carrying a ``cs``
+    CRC32 field.
+
+    The checksum covers every field except ``wall_time`` (the one physical,
+    run-varying field of a trial row) and ``cs`` itself, so two runs that
+    agree on everything-but-wall_time emit identical checksums — the
+    byte-comparison contracts (``REPRO_ZERO_WALL``, shard equivalence, the
+    telemetry never-in-trial-rows gate) hold unchanged.
+    """
+    body = {k: v for k, v in payload.items() if k not in ("cs", "wall_time")}
+    return json.dumps({**payload, "cs": _row_checksum(body)}, sort_keys=True)
+
+
+def row_intact(data: dict) -> bool:
+    """Pop and verify a decoded row's ``cs`` checksum.
+
+    Rows without one (the committed stores predate checksums) pass; a
+    mismatch means the payload changed after it was checksummed — bit-rot,
+    a torn rewrite, or a hand edit — and the row must not be ingested.
+    """
+    cs = data.pop("cs", None)
+    if cs is None:
+        return True
+    return cs == _row_checksum({k: v for k, v in data.items() if k != "wall_time"})
+
+
+def append_jsonl_line(path: str, line: str) -> None:
+    """Append one line to a JSONL file (open/write/flush/close), wrapping
+    write failures in :class:`StoreWriteError` — the hardened primitive the
+    quarantine ledger uses."""
+    try:
+        with open(path, "a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+    except OSError as exc:
+        _raise_write_error(path, exc)
 
 
 @dataclass
@@ -122,7 +197,7 @@ class TrialRecord:
         return (self.protocol, self.jammer, self.n, self.budget, self.channels)
 
     def to_json_line(self) -> str:
-        return json.dumps(asdict(self), sort_keys=True)
+        return checksummed_line(asdict(self))
 
     @classmethod
     def from_dict(cls, data: dict) -> "TrialRecord":
@@ -159,7 +234,7 @@ class StoppingRecord:
         return (self.protocol, self.jammer, self.n, self.budget, self.channels)
 
     def to_json_line(self) -> str:
-        return json.dumps(asdict(self), sort_keys=True)
+        return checksummed_line(asdict(self))
 
     @classmethod
     def from_dict(cls, data: dict) -> "StoppingRecord":
@@ -172,26 +247,53 @@ def iter_jsonl_records(
     """Stream one store file without materializing it: yield each decodable
     line as a :class:`TrialRecord` or :class:`StoppingRecord`.
 
-    Blank lines are skipped; so are truncated/undecodable ones (a SIGKILLed
-    worker can leave half a line at a shard's tail — the trial it belonged
-    to simply re-runs on resume).  Duplicate keys are *not* filtered here:
-    single-file stores never contain them, and cross-file dedupe belongs to
-    the caller (:func:`stream_aggregate`, :func:`repro.exp.shard.merge_shards`)
-    which must track keys across files anyway.
+    Blank lines are skipped silently.  Truncated/undecodable lines (a
+    SIGKILLed worker can leave half a line at a shard's tail) and rows whose
+    ``cs`` checksum no longer matches their payload (:func:`row_intact`) are
+    skipped *loudly* — one stderr line naming the file, line number, and
+    reason, plus a telemetry counter when a recorder is active — and the
+    trial they belonged to simply re-runs on resume.  Duplicate keys are
+    *not* filtered here: single-file stores never contain them, and
+    cross-file dedupe belongs to the caller (:func:`stream_aggregate`,
+    :func:`repro.exp.shard.merge_shards`) which must track keys across
+    files anyway.
     """
     with open(path) as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, 1):
             line = line.strip()
             if not line:
                 continue
             try:
                 data = json.loads(line)
             except json.JSONDecodeError:
+                _warn_skipped_row(path, lineno, "undecodable JSON (torn write)")
+                continue
+            if not row_intact(data):
+                _warn_skipped_row(path, lineno, "checksum mismatch (corrupt row)")
                 continue
             if data.get("kind") == "stopping":
                 yield StoppingRecord.from_dict(data)
             else:
                 yield TrialRecord.from_dict(data)
+
+
+def _warn_skipped_row(path: str, lineno: int, reason: str) -> None:
+    """Loud-skip notice: the row is dropped, its trial re-runs on resume."""
+    print(
+        f"store: skipping {path}:{lineno} — {reason}; its trial re-runs on "
+        f"resume",
+        file=sys.stderr,
+    )
+    # imported here, not at module top: obs depends on nothing, but keeping
+    # store importable without obs preserves the layering for tools that
+    # vendor the store alone
+    from repro.obs.recorder import active as _obs_active
+
+    tel = _obs_active()
+    if tel is not None:
+        tel.count(
+            "store.corrupt_rows" if "checksum" in reason else "store.torn_rows"
+        )
 
 
 class ResultStore:
@@ -247,11 +349,15 @@ class ResultStore:
         self._write_line(record.to_json_line())
 
     def _write_line(self, line: str) -> None:
-        if self.path is not None:
+        if self.path is None:
+            return
+        try:
             if self._fh is None:
                 self._fh = open(self.path, "a")
             self._fh.write(line + "\n")
             self._fh.flush()
+        except OSError as exc:
+            _raise_write_error(self.path, exc)
 
     def close(self) -> None:
         if self._fh is not None:

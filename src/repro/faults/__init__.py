@@ -1,0 +1,41 @@
+"""Seeded, deterministic fault injection for campaign chaos testing.
+
+The package splits the chaos harness into data and machinery:
+
+* :mod:`~repro.faults.plan` — :class:`FaultPlan`: the schedule of worker
+  kills, raising trials, block delays, torn shard tails, and corrupt rows,
+  as JSON-friendly data keyed on stable trial keys and dispatch attempts
+  (never wall clock or PIDs), so the same plan replays the same chaos.
+* :mod:`~repro.faults.inject` — :class:`FaultInjector`: fires a plan at the
+  pool's injection points, role-aware (worker-level faults never hit the
+  parent), installed process-wide like the telemetry recorder and carried
+  to pool workers via the ``REPRO_FAULT_PLAN`` environment variable.
+
+The supervision layer (:mod:`repro.exp.supervisor`) is what these faults
+exercise; the fault-invariance suite (``tests/faults/``) asserts that any
+plan leaves the final store bit-identical (minus ``wall_time``) to a
+fault-free run.  See DESIGN.md section 14.
+"""
+
+from repro.faults.inject import (
+    FAULT_PLAN_ENV,
+    FaultInjector,
+    active,
+    injector_from_env,
+    install,
+    plan_env,
+)
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, InjectedFault
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active",
+    "injector_from_env",
+    "install",
+    "plan_env",
+]

@@ -1,0 +1,163 @@
+"""Runtime fault injection: fire a :class:`~repro.faults.plan.FaultPlan`
+inside the campaign machinery.
+
+A :class:`FaultInjector` is role-aware.  Process- and disk-level faults
+(``kill_worker``, ``delay_block``, ``torn_tail``, ``corrupt_row``) model a
+disrupted *worker* and fire only under ``role="worker"`` — the parent must
+survive them, not commit suicide.  ``raise_trial`` models a buggy trial and
+fires wherever the trial runs, including the parent-side quarantine bisect
+(:mod:`repro.exp.supervisor`), so a poison trial stays poisonous all the way
+down to its quarantine ledger entry.
+
+The transport to pool workers is the :data:`FAULT_PLAN_ENV` environment
+variable holding a plan-JSON path: environment variables survive both fork
+and spawn, exactly like the ``REPRO_ZERO_WALL`` stamp
+(:data:`repro.exp.pool.ZERO_WALL_ENV`).  ``repro sweep --fault-plan`` and
+the :func:`plan_env` test helper both set it; ``_shard_worker_init``
+installs a worker-role injector from it, ``run_campaign`` a parent-role one.
+
+Injection is a no-op unless a plan is installed: every hook checks the
+module-global :func:`active` injector, mirroring the telemetry recorder
+(:mod:`repro.obs.recorder`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
+
+from repro.faults.plan import FaultPlan, FaultSpec, InjectedFault
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FaultInjector",
+    "active",
+    "install",
+    "injector_from_env",
+    "plan_env",
+]
+
+#: Path to a FaultPlan JSON file; set it to enable injection in the next
+#: campaign (parent and workers alike).  The CLI flag ``--fault-plan`` is
+#: sugar for exporting this.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Marker the torn_tail fault appends: recognizably half a JSON object.
+_TORN_PREFIX = '{"key": "torn-tail-injected", "slots'
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` at the campaign's injection points.
+
+    The decision helpers (:meth:`kill_due`, :meth:`delay_due`,
+    :meth:`torn_tail`, :meth:`corrupt_line`) are pure functions of
+    ``(plan, role, keys, attempt)`` so tests can assert the schedule without
+    firing anything; :meth:`on_block_start` and :meth:`check_trials` are the
+    hooks the pool actually calls.
+    """
+
+    def __init__(self, plan: FaultPlan, *, role: str = "parent"):
+        if role not in ("parent", "worker"):
+            raise ValueError(f"injector role must be parent or worker, got {role!r}")
+        self.plan = plan
+        self.role = role
+
+    def _due(self, kind: str, keys: Sequence[str], attempt: int) -> List[FaultSpec]:
+        return [f for f in self.plan.matching(kind, keys) if attempt < f.times]
+
+    # -- pure decisions ------------------------------------------------------------
+    def kill_due(self, keys: Sequence[str], attempt: int) -> bool:
+        """Whether a ``kill_worker`` fault fires on this (block, attempt)."""
+        return self.role == "worker" and bool(self._due("kill_worker", keys, attempt))
+
+    def delay_due(self, keys: Sequence[str], attempt: int) -> float:
+        """Seconds of injected block delay (0.0 when none is due)."""
+        if self.role != "worker":
+            return 0.0
+        return sum(f.seconds for f in self._due("delay_block", keys, attempt))
+
+    def torn_tail(self, keys: Sequence[str], attempt: int) -> Optional[str]:
+        """The truncated line to append after a matching block, if due."""
+        if self.role == "worker" and self._due("torn_tail", keys, attempt):
+            return _TORN_PREFIX
+        return None
+
+    def corrupt_line(self, key: str, attempt: int, line: str) -> Optional[str]:
+        """A bit-rotted replacement for ``line``, if due: one field flipped,
+        checksum left stale — exactly what the hardened reader must catch."""
+        if self.role != "worker" or not self._due("corrupt_row", [key], attempt):
+            return None
+        data = json.loads(line)
+        data["slots"] = int(data.get("slots", 0)) + 1
+        return json.dumps(data, sort_keys=True)
+
+    # -- firing hooks --------------------------------------------------------------
+    def on_block_start(self, keys: Sequence[str], attempt: int) -> None:
+        """Worker-side block preamble: injected delay, then injected death."""
+        delay = self.delay_due(keys, attempt)
+        if delay:
+            time.sleep(delay)
+        if self.kill_due(keys, attempt):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def check_trials(self, keys: Sequence[str], attempt: int) -> None:
+        """Raise :class:`InjectedFault` if a ``raise_trial`` fault is due on
+        any of ``keys`` (fires in both roles — a buggy trial is buggy
+        wherever it runs)."""
+        for fault in self._due("raise_trial", keys, attempt):
+            key = next(k for k in keys if fault.match in k)
+            raise InjectedFault(
+                f"injected raise_trial on {key} "
+                f"(attempt {attempt}, fires {fault.times} time(s))"
+            )
+
+
+#: The installed injector (None = injection off), mirroring obs.recorder.
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def active() -> Optional[FaultInjector]:
+    """The currently installed injector, or None when injection is off."""
+    return _ACTIVE
+
+
+def install(injector: Optional[FaultInjector]) -> Optional[FaultInjector]:
+    """Install (or clear, with None) the process-wide injector; returns the
+    previous one so callers can restore it."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = injector
+    return previous
+
+
+def injector_from_env(role: str) -> Optional[FaultInjector]:
+    """Build an injector from :data:`FAULT_PLAN_ENV`, or None when unset."""
+    path = os.environ.get(FAULT_PLAN_ENV)
+    if not path:
+        return None
+    return FaultInjector(FaultPlan.load(path), role=role)
+
+
+@contextmanager
+def plan_env(plan: FaultPlan, directory: str) -> Iterator[str]:
+    """Write ``plan`` under ``directory``, export :data:`FAULT_PLAN_ENV`,
+    and install a parent-role injector for the duration — the one-liner the
+    fault-invariance tests wrap campaign runs in.  Restores both the env
+    var and the installed injector on exit."""
+    path = os.path.join(directory, f"fault-plan-{plan.name}.json")
+    plan.save(path)
+    previous_env = os.environ.get(FAULT_PLAN_ENV)
+    os.environ[FAULT_PLAN_ENV] = path
+    previous = install(FaultInjector(plan, role="parent"))
+    try:
+        yield path
+    finally:
+        install(previous)
+        if previous_env is None:
+            os.environ.pop(FAULT_PLAN_ENV, None)
+        else:
+            os.environ[FAULT_PLAN_ENV] = previous_env

@@ -1,0 +1,142 @@
+"""Deterministic fault plans: the chaos schedule as data.
+
+A :class:`FaultPlan` is a JSON-friendly list of :class:`FaultSpec` entries,
+each naming a fault *kind*, a trial-key substring it targets, and how many
+dispatch attempts it fires on.  Nothing in a plan depends on wall clock,
+PIDs, or scheduling: a fault fires iff (kind, matched key, attempt number)
+says so, and a block's attempt number is bumped deterministically by the
+supervisor every time the block is re-dispatched.  Replaying the same plan
+against the same campaign therefore injects the same faults at the same
+points — in a unit test, in CI's chaos-smoke job, and on a laptop — which is
+what lets the fault-invariance suite assert bit-identical stores
+(DESIGN.md section 14).
+
+Fault kinds
+-----------
+``kill_worker``
+    The worker running a matching block SIGKILLs itself at block start —
+    the pool breaks exactly as under a real OOM kill.
+``raise_trial``
+    Trial execution raises :class:`InjectedFault` before running a matching
+    trial (a "poison" trial when ``times`` exceeds the retry budget).
+``delay_block``
+    The worker sleeps ``seconds`` at block start — a straggler for the
+    supervisor's watchdog to re-dispatch around.
+``torn_tail``
+    After flushing a matching block, the worker appends half a JSON line to
+    its shard — the torn tail a mid-write SIGKILL leaves behind.
+``corrupt_row``
+    A matching trial's shard row is re-serialized with a flipped field but
+    a stale checksum — silent bit-rot for the merge reader to reject.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field
+from typing import List, Sequence
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "InjectedFault"]
+
+#: Every fault kind a plan may schedule (see the module docstring).
+FAULT_KINDS = ("kill_worker", "raise_trial", "delay_block", "torn_tail", "corrupt_row")
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise_trial`` fault raises inside trial execution."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: fire ``kind`` on keys containing ``match`` for
+    the first ``times`` dispatch attempts (``seconds`` is the
+    ``delay_block`` sleep; ignored by other kinds)."""
+
+    kind: str
+    match: str
+    times: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (one of {', '.join(FAULT_KINDS)})"
+            )
+        if not self.match:
+            raise ValueError("fault match must be a non-empty trial-key substring")
+        if self.times < 1:
+            raise ValueError(f"fault times must be at least 1, got {self.times!r}")
+        if self.seconds < 0:
+            raise ValueError(f"fault seconds must be >= 0, got {self.seconds!r}")
+
+
+@dataclass
+class FaultPlan:
+    """A named, seeded set of :class:`FaultSpec` entries (JSON round-trip)."""
+
+    faults: List[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+    name: str = "plan"
+
+    def __post_init__(self):
+        self.faults = [
+            f if isinstance(f, FaultSpec) else FaultSpec(**f) for f in self.faults
+        ]
+
+    def matching(self, kind: str, keys: Sequence[str]) -> List[FaultSpec]:
+        """The plan's ``kind`` entries whose ``match`` hits any of ``keys``."""
+        return [
+            f
+            for f in self.faults
+            if f.kind == kind and any(f.match in key for key in keys)
+        ]
+
+    # -- JSON round-trip -----------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls(**json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        keys: Sequence[str],
+        kinds: Sequence[str] = ("kill_worker", "raise_trial", "torn_tail"),
+        *,
+        per_kind: int = 1,
+        raise_times: int = 2,
+        delay_seconds: float = 0.5,
+    ) -> "FaultPlan":
+        """A seeded random plan over ``keys``: ``per_kind`` targets per kind.
+
+        Target choice is a pure function of ``(seed, sorted(keys), kinds)``
+        — the chaos-suite entry point for "some plan, any plan, but the same
+        one every run".
+        """
+        rng = random.Random(seed)
+        pool = sorted(set(keys))
+        faults = []
+        for kind in kinds:
+            for key in rng.sample(pool, min(per_kind, len(pool))):
+                faults.append(
+                    FaultSpec(
+                        kind=kind,
+                        match=key,
+                        times=raise_times if kind == "raise_trial" else 1,
+                        seconds=delay_seconds if kind == "delay_block" else 0.0,
+                    )
+                )
+        return cls(faults=faults, seed=seed, name=f"generated-{seed}")

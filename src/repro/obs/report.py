@@ -148,7 +148,11 @@ def render_report(events: Sequence[dict]) -> str:
             )
 
     # -- kernel summary (straggler / occupancy / passes) --------------------
-    kernel_keys = [k for k in sorted(counters) if not k.startswith("campaign.")]
+    kernel_keys = [
+        k
+        for k in sorted(counters)
+        if not k.startswith(("campaign.", "supervise.", "store."))
+    ]
     if kernel_keys or timers or hists:
         lines.append("")
         lines.append("-- kernels --")
@@ -194,6 +198,50 @@ def render_report(events: Sequence[dict]) -> str:
                  f"{worst:.4f}" if widths else "n/a"]
             )
         lines.extend(_table(rows, ["wave", "open cells", "scheduled", "worst rel CI"]))
+
+    # -- supervision: faults seen and recovery actions taken ----------------
+    supervise_keys = [
+        k
+        for k in sorted(counters)
+        if k.startswith(("supervise.", "store."))
+    ]
+    fault_events = [
+        e
+        for e in events
+        if e["event"] in ("retry", "respawn", "straggler", "quarantine", "degrade")
+    ]
+    if supervise_keys or fault_events:
+        lines.append("")
+        lines.append("-- faults / recovery --")
+        for name in supervise_keys:
+            lines.append(f"{name}: {counters[name]}")
+        for e in fault_events:
+            kind = e["event"]
+            if kind == "retry":
+                lines.append(
+                    f"retry: block {e.get('block', '?')} attempt "
+                    f"{e.get('attempt', '?')} ({e.get('error', '?')})"
+                )
+            elif kind == "respawn":
+                lines.append(
+                    f"respawn: pool #{e.get('respawns', '?')} with "
+                    f"{e.get('blocks_left', '?')} block(s) outstanding"
+                )
+            elif kind == "straggler":
+                lines.append(
+                    f"straggler: block {e.get('block', '?')} re-dispatched "
+                    f"(attempt {e.get('attempt', '?')})"
+                )
+            elif kind == "quarantine":
+                lines.append(
+                    f"quarantine: {e.get('key', '?')} after "
+                    f"{e.get('attempts', '?')} attempt(s) ({e.get('error', '?')})"
+                )
+            else:
+                lines.append(
+                    f"degrade: {e.get('blocks', '?')} block(s) finished "
+                    f"in-process after repeated pool deaths"
+                )
 
     # -- recovery + fallbacks ----------------------------------------------
     if merges:

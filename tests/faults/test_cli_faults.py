@@ -1,0 +1,100 @@
+"""`repro sweep --fault-plan`: arming, recovery summary, and exit codes.
+
+Exit-code contract: 0 when every trial completed (recovery actions are
+informational), 2 when quarantined trials remain unresolved, and a usage
+error before any trial runs when the plan file is malformed.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.faults import FaultPlan, FaultSpec
+
+CMD_TAIL = [
+    "-m", "repro", "sweep",
+    "--protocols", "multicast", "--jammers", "blanket",
+    "--n", "16", "--budget", "4000", "--trials", "12", "--seed", "11",
+    "--workers", "2", "--quiet",
+]
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_ZERO_WALL"] = "1"
+    return env
+
+
+def _sweep(store, *extra):
+    return subprocess.run(
+        [sys.executable, *CMD_TAIL, "--store", store, *extra],
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def _keys(store):
+    with open(store) as fh:
+        return [json.loads(line)["key"] for line in fh if line.strip()]
+
+
+def test_transient_faults_recover_to_exit_zero(tmp_path):
+    plan_path = str(tmp_path / "kill.json")
+    FaultPlan(
+        faults=[FaultSpec(kind="kill_worker", match="/t8")], seed=1, name="kill"
+    ).save(plan_path)
+    store = str(tmp_path / "campaign.jsonl")
+    proc = _sweep(store, "--fault-plan", plan_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "fault injection: plan 'kill' armed" in proc.stderr
+    assert "respawning" in proc.stderr
+    assert "recovery:" in proc.stderr
+    assert len(_keys(store)) == 12
+
+    # the faulted sharded store matches a fault-free serial run byte-for-byte
+    serial = str(tmp_path / "serial.jsonl")
+    clean = subprocess.run(
+        [sys.executable, *CMD_TAIL[:-3], "--workers", "1", "--quiet",
+         "--store", serial],
+        env=_env(), capture_output=True, text=True, timeout=600,
+    )
+    assert clean.returncode == 0, clean.stderr
+    assert open(store, "rb").read() == open(serial, "rb").read()
+
+
+def test_unresolved_quarantine_exits_two(tmp_path):
+    plan_path = str(tmp_path / "poison.json")
+    FaultPlan(
+        faults=[FaultSpec(kind="raise_trial", match="/t7", times=99)],
+        seed=2,
+        name="poison",
+    ).save(plan_path)
+    store = str(tmp_path / "campaign.jsonl")
+    proc = _sweep(store, "--fault-plan", plan_path)
+    assert proc.returncode == 2, proc.stderr
+    assert "quarantine: 1 trial(s) still unresolved" in proc.stderr
+    keys = _keys(store)
+    assert len(keys) == 11 and not any(k.endswith("/t7") for k in keys)
+    assert os.path.exists(store + ".quarantine.jsonl")
+
+    # the fault budget is spent, so a plain re-run completes the campaign
+    # (ledger entries are history, not state) and exits clean
+    done = _sweep(store)
+    assert done.returncode == 0, done.stderr
+    assert len(_keys(store)) == 12
+
+
+def test_malformed_plan_is_a_usage_error(tmp_path):
+    plan_path = str(tmp_path / "bad.json")
+    with open(plan_path, "w") as fh:
+        fh.write('{"faults": [{"kind": "meteor_strike", "match": "/t0"}]}')
+    store = str(tmp_path / "campaign.jsonl")
+    proc = _sweep(store, "--fault-plan", plan_path)
+    assert proc.returncode != 0
+    assert "bad fault plan" in proc.stderr
+    assert not os.path.exists(store), "no trial may run under a bad plan"

@@ -1,0 +1,165 @@
+"""Fault plans and the injector's pure decision layer.
+
+A plan is data: (kind, key-substring, attempt budget).  Everything here
+asserts the schedule without firing anything — role gating, attempt
+semantics, JSON round-trips, and the seeded generator's determinism —
+which is what makes the invariance suite's faults replayable.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.exp.store import row_intact
+from repro.faults import (
+    FAULT_KINDS,
+    FAULT_PLAN_ENV,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active,
+    injector_from_env,
+    install,
+    plan_env,
+)
+
+KEYS = [f"multicast/blanket/n16/T4000/s11/t{t}" for t in range(8)]
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor_strike", match="/t0")
+
+    def test_rejects_empty_match(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            FaultSpec(kind="kill_worker", match="")
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            FaultSpec(kind="raise_trial", match="/t0", times=0)
+
+    def test_rejects_negative_seconds(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultSpec(kind="delay_block", match="/t0", seconds=-1.0)
+
+
+class TestFaultPlan:
+    def test_coerces_dict_entries(self):
+        plan = FaultPlan(faults=[{"kind": "kill_worker", "match": "/t3"}])
+        assert plan.faults == [FaultSpec(kind="kill_worker", match="/t3")]
+
+    def test_json_roundtrip(self, tmp_path):
+        plan = FaultPlan(
+            faults=[
+                FaultSpec(kind="raise_trial", match="/t5", times=2),
+                FaultSpec(kind="delay_block", match="/t1", seconds=0.25),
+            ],
+            seed=7,
+            name="roundtrip",
+        )
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+        # the file is plain JSON an operator can read and edit
+        data = json.loads(open(path).read())
+        assert data["name"] == "roundtrip"
+        assert data["faults"][0]["kind"] == "raise_trial"
+
+    def test_matching_is_substring_on_any_key(self):
+        plan = FaultPlan(faults=[FaultSpec(kind="kill_worker", match="/t3")])
+        assert plan.matching("kill_worker", KEYS)
+        assert not plan.matching("kill_worker", ["other/key"])
+        assert not plan.matching("raise_trial", KEYS)
+
+    def test_generate_is_deterministic_and_targets_given_keys(self):
+        a = FaultPlan.generate(42, KEYS)
+        b = FaultPlan.generate(42, list(reversed(KEYS)))  # order-insensitive
+        assert a == b
+        assert {f.kind for f in a.faults} == {"kill_worker", "raise_trial", "torn_tail"}
+        assert all(f.match in KEYS for f in a.faults)
+        assert FaultPlan.generate(43, KEYS) != a
+
+
+class TestInjectorDecisions:
+    def _inj(self, role, *faults):
+        return FaultInjector(FaultPlan(faults=list(faults)), role=role)
+
+    def test_rejects_unknown_role(self):
+        with pytest.raises(ValueError, match="parent or worker"):
+            FaultInjector(FaultPlan(), role="bystander")
+
+    def test_worker_faults_never_fire_in_the_parent(self):
+        kill = FaultSpec(kind="kill_worker", match="/t3")
+        delay = FaultSpec(kind="delay_block", match="/t3", seconds=0.5)
+        tear = FaultSpec(kind="torn_tail", match="/t3")
+        rot = FaultSpec(kind="corrupt_row", match="/t3")
+        parent = self._inj("parent", kill, delay, tear, rot)
+        assert not parent.kill_due(KEYS, 0)
+        assert parent.delay_due(KEYS, 0) == 0.0
+        assert parent.torn_tail(KEYS, 0) is None
+        assert parent.corrupt_line(KEYS[3], 0, '{"slots": 5}') is None
+        worker = self._inj("worker", kill, delay, tear, rot)
+        assert worker.kill_due(KEYS, 0)
+        assert worker.delay_due(KEYS, 0) == 0.5
+        assert worker.torn_tail(KEYS, 0) is not None
+
+    def test_raise_trial_fires_in_both_roles(self):
+        fault = FaultSpec(kind="raise_trial", match="/t5", times=2)
+        for role in ("parent", "worker"):
+            inj = self._inj(role, fault)
+            from repro.faults import InjectedFault
+
+            with pytest.raises(InjectedFault, match="/t5"):
+                inj.check_trials(KEYS, 0)
+
+    def test_attempt_budget_is_attempt_lt_times(self):
+        inj = self._inj("worker", FaultSpec(kind="kill_worker", match="/t3", times=2))
+        assert inj.kill_due(KEYS, 0)
+        assert inj.kill_due(KEYS, 1)
+        assert not inj.kill_due(KEYS, 2)  # budget spent: the retry succeeds
+
+    def test_torn_tail_is_not_valid_json(self):
+        inj = self._inj("worker", FaultSpec(kind="torn_tail", match="/t3"))
+        tail = inj.torn_tail(KEYS, 0)
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(tail)
+
+    def test_corrupt_line_keeps_a_stale_checksum(self):
+        from repro.exp.store import checksummed_line
+
+        inj = self._inj("worker", FaultSpec(kind="corrupt_row", match="/t3"))
+        line = checksummed_line({"key": KEYS[3], "slots": 5})
+        rotted = inj.corrupt_line(KEYS[3], 0, line)
+        assert rotted is not None and rotted != line
+        data = json.loads(rotted)
+        assert data["slots"] == 6  # the flipped field
+        assert not row_intact(data)  # ...and the reader must reject it
+
+
+class TestInstallAndEnv:
+    def test_install_returns_previous(self):
+        inj = FaultInjector(FaultPlan())
+        before = install(inj)
+        try:
+            assert active() is inj
+        finally:
+            install(before)
+
+    def test_injector_from_env_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        assert injector_from_env("worker") is None
+
+    def test_plan_env_exports_and_restores(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        plan = FaultPlan(faults=[FaultSpec(kind="kill_worker", match="/t0")], name="x")
+        with plan_env(plan, str(tmp_path)) as path:
+            assert os.environ[FAULT_PLAN_ENV] == path
+            assert FaultPlan.load(path) == plan
+            assert active() is not None and active().role == "parent"
+            # a worker bootstrapping from the same env sees the same plan
+            worker = injector_from_env("worker")
+            assert worker.plan == plan and worker.role == "worker"
+        assert FAULT_PLAN_ENV not in os.environ
+        assert active() is None

@@ -69,6 +69,44 @@ class TestRenderReport:
     def test_empty_stream(self):
         assert "empty telemetry stream" in render_report([])
 
+    def test_no_faults_section_on_a_clean_run(self):
+        assert "faults / recovery" not in render_report(_events())
+
+    def test_faults_section_renders_recovery_actions(self):
+        events = _events() + [
+            {"event": "retry", "source": "main", "seq": 8,
+             "block": "cell/t0", "attempt": 1, "error": "ValueError: boom"},
+            {"event": "respawn", "source": "main", "seq": 9,
+             "respawns": 1, "blocks_left": 2},
+            {"event": "straggler", "source": "main", "seq": 10,
+             "block": "cell/t8", "attempt": 1},
+            {"event": "quarantine", "source": "main", "seq": 11,
+             "key": "cell/t5", "attempts": 4, "error": "ValueError: boom"},
+            {"event": "degrade", "source": "main", "seq": 12, "blocks": 3},
+            {"event": "summary", "source": "main", "seq": 13,
+             "counters": {"supervise.retries": 1, "supervise.respawns": 1,
+                          "store.torn_rows": 2}},
+        ]
+        text = render_report(events)
+        assert "-- faults / recovery --" in text
+        assert "supervise.retries: 1" in text
+        assert "store.torn_rows: 2" in text
+        assert "retry: block cell/t0 attempt 1 (ValueError: boom)" in text
+        assert "respawn: pool #1 with 2 block(s) outstanding" in text
+        assert "straggler: block cell/t8 re-dispatched (attempt 1)" in text
+        assert "quarantine: cell/t5 after 4 attempt(s)" in text
+        assert "degrade: 3 block(s) finished in-process" in text
+
+    def test_supervision_counters_stay_out_of_the_kernel_section(self):
+        events = _events() + [
+            {"event": "summary", "source": "main", "seq": 8,
+             "counters": {"supervise.retries": 1, "store.corrupt_rows": 1}},
+        ]
+        text = render_report(events)
+        kernels = text.split("-- kernels --")[1].split("--")[0]
+        assert "supervise." not in kernels
+        assert "store." not in kernels
+
     def test_partial_stream_renders(self):
         # a crashed run: heartbeats only, no summary/campaign events
         text = render_report([e for e in _events() if e["event"] == "heartbeat"])
